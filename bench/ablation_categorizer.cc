@@ -1,0 +1,78 @@
+// Ablation A3: categorization method quality — EL vs ME vs k-means at the
+// same category count. Reports entropy, index size, filter selectivity
+// (candidates per answer) and query time. ME should achieve near-maximal
+// entropy and the best time/size tradeoff on skewed (stock) data, which is
+// why the paper picks ME-based SST_C for Tables 2-3.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "categorize/categorizer.h"
+#include "core/index.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::PaperStockDb;
+using bench::Timer;
+using categorize::Method;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::SearchStats;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 3 : 10));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 10));
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+  const std::vector<Value> values = categorize::CollectValues(db);
+
+  std::printf("Ablation A3: categorization methods, SST_C, epsilon %.0f, "
+              "%zu queries\n\n", epsilon, queries.size());
+  std::printf("%-8s %-6s %10s %12s %12s %14s %12s\n", "method", "#cat",
+              "entropy", "index KB", "time (s)", "candidates", "answers");
+  for (const std::size_t c : std::vector<std::size_t>{10, 40, 120}) {
+    for (const Method m : {Method::kEqualLength, Method::kMaxEntropy,
+                           Method::kKMeans}) {
+      IndexOptions options;
+      options.kind = IndexKind::kSparse;
+      options.method = m;
+      options.num_categories = c;
+      auto index = Index::Build(&db, options);
+      if (!index.ok()) continue;
+      auto alphabet = categorize::Build(m, values, c, options.seed);
+      const double entropy =
+          alphabet.ok() ? categorize::CategorizationEntropy(values, *alphabet)
+                        : -1.0;
+      SearchStats total{};
+      Timer timer;
+      for (const seqdb::Sequence& q : queries) {
+        SearchStats s;
+        index->Search(q, epsilon, {}, &s);
+        total.candidates += s.candidates;
+        total.answers += s.answers;
+      }
+      std::printf("%-8s %-6zu %10.3f %12.0f %12.4f %14llu %12llu\n",
+                  categorize::MethodToString(m), c, entropy,
+                  index->build_info().index_bytes / 1024.0,
+                  timer.Seconds() / static_cast<double>(queries.size()),
+                  static_cast<unsigned long long>(total.candidates),
+                  static_cast<unsigned long long>(total.answers));
+    }
+  }
+  std::printf("\n(max entropy at c categories is log(c): %.3f / %.3f / "
+              "%.3f)\n", std::log(10.0), std::log(40.0), std::log(120.0));
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

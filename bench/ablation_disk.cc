@@ -1,0 +1,96 @@
+// Ablation A4: disk-resident traversal — the effect that explains the
+// paper's Table 2 ordering. In RAM the exact ST is fast on modern
+// hardware; but the ST bundle is ~60x the database size, so when the tree
+// must stream through a small buffer pool (the paper's 1999 setting), the
+// compact SST_C wins decisively. Reports query time and pool misses for
+// ST vs SST_C at several pool budgets.
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 2 : 5));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 10));
+
+  // A smaller stock set keeps the on-disk ST build quick while preserving
+  // the ST-vs-SST_C size ratio.
+  datagen::StockOptions stock_options;
+  stock_options.num_sequences = quick ? 60 : 150;
+  const seqdb::SequenceDatabase db = datagen::GenerateStocks(stock_options);
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tswarp_ablation_disk_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  std::printf("Ablation A4: disk-resident indexes, %zu stock sequences, "
+              "epsilon %.0f, %zu queries\n\n",
+              db.size(), epsilon, queries.size());
+  std::printf("%-8s %-10s %12s %12s %14s\n", "index", "pool", "size KB",
+              "time (s)", "pool misses");
+
+  struct Config {
+    IndexKind kind;
+    const char* name;
+  };
+  for (const Config& config :
+       {Config{IndexKind::kSuffixTree, "ST"},
+        Config{IndexKind::kSparse, "SST_C"}}) {
+    for (const std::size_t pool_pages : std::vector<std::size_t>{16, 4096}) {
+      IndexOptions options;
+      options.kind = config.kind;
+      options.num_categories = 20;
+      options.disk_path =
+          (dir / (std::string(config.name) + "_" +
+                  std::to_string(pool_pages))).string();
+      options.disk_batch_sequences = 32;
+      options.disk_pool_pages = pool_pages;
+      auto index = Index::Build(&db, options);
+      if (!index.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     index.status().ToString().c_str());
+        continue;
+      }
+      const std::uint64_t misses_before =
+          index->disk_tree()->PoolStats().misses;
+      Timer timer;
+      std::uint64_t answers = 0;
+      for (const seqdb::Sequence& q : queries) {
+        answers += index->Search(q, epsilon).size();
+      }
+      const std::uint64_t misses =
+          index->disk_tree()->PoolStats().misses - misses_before;
+      std::printf("%-8s %-10zu %12.0f %12.4f %14llu\n", config.name,
+                  pool_pages,
+                  index->build_info().index_bytes / 1024.0,
+                  timer.Seconds() / static_cast<double>(queries.size()),
+                  static_cast<unsigned long long>(misses));
+    }
+  }
+  std::printf("\n(with a 16-page pool the ST traversal thrashes — this is "
+              "the regime behind the paper's slow ST in Table 2 — while "
+              "the compact SST_C mostly fits)\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

@@ -1,0 +1,75 @@
+// Ablation A1: the R_p reduction factor — Theorem-1 branch pruning on vs
+// off, for the tree search and the sequential scan, across thresholds.
+// R_p grows as epsilon shrinks (Section 4.3); with pruning disabled the
+// traversal degenerates toward visiting every node.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::PaperStockDb;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::QueryOptions;
+using core::SearchStats;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 3 : 10));
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 40;
+  auto index = Index::Build(&db, options);
+  if (!index.ok()) return 1;
+
+  std::printf("Ablation A1: Theorem-1 pruning (R_p), SST_C(ME,40), "
+              "%zu queries\n\n", queries.size());
+  std::printf("%-6s %12s %12s %10s %16s %16s %8s\n", "eps", "prune(s)",
+              "noprune(s)", "speedup", "rows(prune)", "rows(noprune)", "R_p");
+  for (const Value eps : std::vector<Value>{2, 5, 10, 20, 40}) {
+    SearchStats pruned{}, full{};
+    Timer t1;
+    for (const seqdb::Sequence& q : queries) {
+      SearchStats s;
+      index->Search(q, eps, {}, &s);
+      pruned.rows_pushed += s.rows_pushed;
+    }
+    const double pruned_time = t1.Seconds();
+    QueryOptions no_prune;
+    no_prune.prune = false;
+    Timer t2;
+    for (const seqdb::Sequence& q : queries) {
+      SearchStats s;
+      index->Search(q, eps, no_prune, &s);
+      full.rows_pushed += s.rows_pushed;
+    }
+    const double full_time = t2.Seconds();
+    std::printf("%-6.0f %12.4f %12.4f %9.1fx %16llu %16llu %8.1f\n", eps,
+                pruned_time / static_cast<double>(queries.size()),
+                full_time / static_cast<double>(queries.size()),
+                full_time / pruned_time,
+                static_cast<unsigned long long>(pruned.rows_pushed),
+                static_cast<unsigned long long>(full.rows_pushed),
+                static_cast<double>(full.rows_pushed) /
+                    static_cast<double>(pruned.rows_pushed));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

@@ -1,0 +1,71 @@
+// Ablation A5: query-length sensitivity. The paper fixes the average
+// query length at 20; this sweep shows how SeqScan (O(M L^2 |Q|)) and
+// SimSearch-SST_C scale as |Q| grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperStockDb;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 3 : 8));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 10));
+  const seqdb::SequenceDatabase db = PaperStockDb();
+
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 60;
+  auto index = Index::Build(&db, options);
+  if (!index.ok()) return 1;
+
+  std::printf("Ablation A5: query length sweep, SST_C(ME,60) vs full "
+              "SeqScan, epsilon %.0f, %zu queries per length\n\n",
+              epsilon, num_queries);
+  std::printf("%-8s %14s %14s %10s %12s\n", "|Q|", "SeqScan(s)",
+              "SST_C(s)", "speedup", "answers");
+  core::SeqScanOptions full_scan;
+  full_scan.prune = false;
+  for (const std::size_t qlen : std::vector<std::size_t>{5, 10, 20, 40}) {
+    datagen::QueryWorkloadOptions workload;
+    workload.num_queries = num_queries;
+    workload.avg_length = qlen;
+    workload.length_jitter = 0;
+    workload.seed = 100 + qlen;
+    const auto queries = datagen::ExtractQueries(db, workload);
+    Timer scan_timer;
+    for (const auto& q : queries) core::SeqScan(db, q, epsilon, full_scan);
+    const double scan_time =
+        scan_timer.Seconds() / static_cast<double>(queries.size());
+    Timer index_timer;
+    std::size_t answers = 0;
+    for (const auto& q : queries) {
+      answers += index->Search(q, epsilon).size();
+    }
+    const double index_time =
+        index_timer.Seconds() / static_cast<double>(queries.size());
+    std::printf("%-8zu %14.4f %14.4f %9.1fx %12zu\n", qlen, scan_time,
+                index_time, scan_time / index_time,
+                answers / queries.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

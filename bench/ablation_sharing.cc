@@ -1,0 +1,101 @@
+// Ablation A2: the R_d reduction factor — sharing cumulative-table rows
+// across suffixes with common prefixes (the tree) vs building one table
+// per suffix (pruned sequential scan). Both use Theorem-1 pruning and the
+// same exact distances, so the difference isolates table sharing plus the
+// tree's ability to prune whole subtrees at once.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::PaperStockDb;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::SearchStats;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 3 : 10));
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+
+  // Exact dictionary tree: same distances as the scan, rows shared via
+  // common prefixes.
+  IndexOptions options;
+  options.kind = IndexKind::kSuffixTree;
+  auto index = Index::Build(&db, options);
+  if (!index.ok()) return 1;
+
+  std::printf("Ablation A2: table sharing (R_d), %zu queries\n",
+              queries.size());
+  std::printf("R_d = rows an unshared per-suffix filter would build / rows "
+              "the shared tree builds (paper Section 4.3).\n\n");
+
+  std::printf("Uncategorized ST (raw values share almost no prefixes):\n");
+  std::printf("%-6s %12s %12s %16s %8s\n", "eps", "tree(s)", "scan(s)",
+              "rows(tree)", "R_d");
+  for (const Value eps : std::vector<Value>{2, 5, 10, 20}) {
+    SearchStats total{};
+    Timer t1;
+    for (const seqdb::Sequence& q : queries) {
+      SearchStats s;
+      index->Search(q, eps, {}, &s);
+      total.rows_pushed += s.rows_pushed;
+      total.unshared_rows += s.unshared_rows;
+    }
+    const double tree_time = t1.Seconds();
+    Timer t2;
+    for (const seqdb::Sequence& q : queries) {
+      core::SeqScan(db, q, eps);
+    }
+    const double scan_time = t2.Seconds();
+    std::printf("%-6.0f %12.4f %12.4f %16llu %8.2f\n", eps,
+                tree_time / static_cast<double>(queries.size()),
+                scan_time / static_cast<double>(queries.size()),
+                static_cast<unsigned long long>(total.rows_pushed),
+                static_cast<double>(total.unshared_rows) /
+                    static_cast<double>(total.rows_pushed));
+  }
+
+  std::printf("\nCategorized SST_C (coarser categories -> longer shared "
+              "prefixes -> larger R_d):\n");
+  std::printf("%-6s %12s %16s %16s %8s\n", "#cat", "time (s)",
+              "rows(shared)", "rows(unshared)", "R_d");
+  for (const std::size_t c : std::vector<std::size_t>{10, 40, 160}) {
+    IndexOptions cat_options;
+    cat_options.kind = IndexKind::kSparse;
+    cat_options.num_categories = c;
+    auto cat_index = Index::Build(&db, cat_options);
+    if (!cat_index.ok()) continue;
+    SearchStats total{};
+    Timer timer;
+    for (const seqdb::Sequence& q : queries) {
+      SearchStats s;
+      cat_index->Search(q, 10.0, {}, &s);
+      total.rows_pushed += s.rows_pushed;
+      total.unshared_rows += s.unshared_rows;
+    }
+    std::printf("%-6zu %12.4f %16llu %16llu %8.2f\n", c,
+                timer.Seconds() / static_cast<double>(queries.size()),
+                static_cast<unsigned long long>(total.rows_pushed),
+                static_cast<unsigned long long>(total.unshared_rows),
+                static_cast<double>(total.unshared_rows) /
+                    static_cast<double>(total.rows_pushed));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

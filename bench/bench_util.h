@@ -1,0 +1,77 @@
+#ifndef TSWARP_BENCH_BENCH_UTIL_H_
+#define TSWARP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "datagen/generators.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp::bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The paper's stock data set stand-in: 545 sequences, average length 232
+/// (Section 7). Fixed seed for reproducible tables.
+inline seqdb::SequenceDatabase PaperStockDb() {
+  datagen::StockOptions options;  // Defaults already mirror the paper.
+  return datagen::GenerateStocks(options);
+}
+
+/// The paper's query workload: average length 20, stratified 20/50/30 by
+/// the sequences' average price.
+inline std::vector<seqdb::Sequence> PaperQueries(
+    const seqdb::SequenceDatabase& db, std::size_t num_queries) {
+  datagen::QueryWorkloadOptions options;
+  options.num_queries = num_queries;
+  return datagen::ExtractQueries(db, options);
+}
+
+/// Parses "--flag value" style integer flags; returns `fallback` if absent.
+inline long FlagValue(int argc, char** argv, const char* flag,
+                      long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Average query time of `index` over `queries` at threshold epsilon.
+inline double AvgIndexQuerySeconds(const core::Index& index,
+                                   const std::vector<seqdb::Sequence>& queries,
+                                   Value epsilon) {
+  Timer timer;
+  for (const seqdb::Sequence& q : queries) {
+    const auto matches = index.Search(q, epsilon);
+    if (matches.size() == static_cast<std::size_t>(-1)) std::abort();
+  }
+  return timer.Seconds() / static_cast<double>(queries.size());
+}
+
+}  // namespace tswarp::bench
+
+#endif  // TSWARP_BENCH_BENCH_UTIL_H_

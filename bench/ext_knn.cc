@@ -1,0 +1,74 @@
+// Extension E2: k-nearest-subsequence search. Reports the adaptive
+// branch-and-bound search time vs the cost of an equivalent range search
+// at the k-th distance (which the caller cannot know a priori — the k-NN
+// search discovers it while pruning).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::PaperStockDb;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 3 : 10));
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 60;
+  auto index = Index::Build(&db, options);
+  if (!index.ok()) return 1;
+
+  std::printf("Extension E2: k-NN subsequence search, SST_C(ME,60), "
+              "%zu queries\n\n", queries.size());
+  std::printf("%-6s %12s %14s %16s %16s\n", "k", "knn (s)",
+              "kth distance", "rows pushed", "oracle range(s)");
+  for (const std::size_t k : std::vector<std::size_t>{1, 10, 100, 1000}) {
+    double knn_seconds = 0.0;
+    double kth_sum = 0.0;
+    std::uint64_t rows = 0;
+    std::vector<Value> kth_per_query;
+    for (const seqdb::Sequence& q : queries) {
+      core::SearchStats stats;
+      Timer timer;
+      const auto result = index->SearchKnn(q, k, {}, &stats);
+      knn_seconds += timer.Seconds();
+      rows += stats.rows_pushed;
+      const Value kth = result.empty() ? 0.0 : result.back().distance;
+      kth_per_query.push_back(kth);
+      kth_sum += kth;
+    }
+    // Oracle: a range search at exactly the k-th distance (the best a
+    // range query could do if it magically knew the right epsilon).
+    double oracle_seconds = 0.0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      Timer timer;
+      index->Search(queries[i], kth_per_query[i]);
+      oracle_seconds += timer.Seconds();
+    }
+    std::printf("%-6zu %12.4f %14.3f %16llu %16.4f\n", k,
+                knn_seconds / static_cast<double>(queries.size()),
+                kth_sum / static_cast<double>(queries.size()),
+                static_cast<unsigned long long>(rows),
+                oracle_seconds / static_cast<double>(queries.size()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

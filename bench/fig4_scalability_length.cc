@@ -1,0 +1,88 @@
+// Reproduces Figure 4 of the paper: query time of sequential scanning vs
+// ME-based SimSearch-SST_C as the average sequence length grows from 200
+// to 1,000 with 200 artificial (random-walk) sequences.
+//
+// Expected shape (paper): both grow roughly quadratically with the
+// average sequence length; SST_C stays well below SeqScan throughout.
+// Category counts are chosen so the index stays smaller than the database.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 2 : 8));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 10));
+
+  std::printf("Figure 4: scalability in average sequence length "
+              "(200 artificial sequences, epsilon %.0f, %zu queries)\n",
+              epsilon, num_queries);
+  std::printf("(paper: both curves grow ~quadratically in length; "
+              "SST_C well below SeqScan)\n\n");
+  std::printf("%-8s %12s %14s %10s %12s %12s\n", "length", "SeqScan(s)",
+              "SST_C(ME)(s)", "speedup", "index KB", "db KB");
+
+  std::vector<std::size_t> lengths = {200, 400, 600, 800, 1000};
+  if (quick) lengths = {200, 600};
+  for (const std::size_t len : lengths) {
+    datagen::RandomWalkOptions data_options;
+    data_options.num_sequences = 200;
+    data_options.avg_length = len;
+    data_options.length_jitter = len / 10;
+    data_options.seed = 4000 + len;
+    const seqdb::SequenceDatabase db =
+        datagen::GenerateRandomWalks(data_options);
+    const std::vector<seqdb::Sequence> queries =
+        PaperQueries(db, num_queries);
+
+    // Pick the category count so the index stays below the database size
+    // (the paper's rule for both scalability experiments).
+    IndexOptions options;
+    options.kind = IndexKind::kSparse;
+    options.num_categories = 10;
+    auto index = Index::Build(&db, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+
+    core::SeqScanOptions full_scan;  // Paper baseline: full tables.
+    full_scan.prune = false;
+    Timer scan_timer;
+    for (const seqdb::Sequence& q : queries) {
+      core::SeqScan(db, q, epsilon, full_scan);
+    }
+    const double scan_time =
+        scan_timer.Seconds() / static_cast<double>(queries.size());
+    const double index_time =
+        bench::AvgIndexQuerySeconds(*index, queries, epsilon);
+
+    std::printf("%-8zu %12.4f %14.4f %9.1fx %12.0f %12.0f\n", len, scan_time,
+                index_time, scan_time / index_time,
+                index->build_info().index_bytes / 1024.0,
+                static_cast<double>(db.DataBytes()) / 1024.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

@@ -1,0 +1,85 @@
+// Reproduces Figure 5 of the paper: query time of sequential scanning vs
+// ME-based SimSearch-SST_C as the number of artificial sequences grows
+// from 1,000 to 10,000 at a fixed average length of 200.
+//
+// Expected shape (paper): both curves grow linearly in the number of
+// sequences; SST_C stays well below SeqScan throughout.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 2 : 6));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 10));
+
+  std::printf("Figure 5: scalability in the number of sequences "
+              "(avg length 200, epsilon %.0f, %zu queries)\n",
+              epsilon, num_queries);
+  std::printf("(paper: both curves grow linearly in M; SST_C well below "
+              "SeqScan)\n\n");
+  std::printf("%-8s %12s %14s %10s %12s %12s\n", "M", "SeqScan(s)",
+              "SST_C(ME)(s)", "speedup", "index KB", "db KB");
+
+  std::vector<std::size_t> counts = {1000, 2500, 5000, 7500, 10000};
+  if (quick) counts = {1000, 5000};
+  for (const std::size_t m : counts) {
+    datagen::RandomWalkOptions data_options;
+    data_options.num_sequences = m;
+    data_options.avg_length = 200;
+    data_options.length_jitter = 20;
+    data_options.seed = 5000 + m;
+    const seqdb::SequenceDatabase db =
+        datagen::GenerateRandomWalks(data_options);
+    const std::vector<seqdb::Sequence> queries =
+        PaperQueries(db, num_queries);
+
+    IndexOptions options;
+    options.kind = IndexKind::kSparse;
+    options.num_categories = 10;
+    auto index = Index::Build(&db, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+
+    core::SeqScanOptions full_scan;  // Paper baseline: full tables.
+    full_scan.prune = false;
+    Timer scan_timer;
+    for (const seqdb::Sequence& q : queries) {
+      core::SeqScan(db, q, epsilon, full_scan);
+    }
+    const double scan_time =
+        scan_timer.Seconds() / static_cast<double>(queries.size());
+    const double index_time =
+        bench::AvgIndexQuerySeconds(*index, queries, epsilon);
+
+    std::printf("%-8zu %12.4f %14.4f %9.1fx %12.0f %12.0f\n", m, scan_time,
+                index_time, scan_time / index_time,
+                index->build_info().index_bytes / 1024.0,
+                static_cast<double>(db.DataBytes()) / 1024.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

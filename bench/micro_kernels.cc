@@ -1,0 +1,165 @@
+// Micro benchmarks of the DTW kernels and the suffix-tree construction /
+// merge substrates (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "categorize/categorizer.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "dtw/alignment.h"
+#include "dtw/dtw.h"
+#include "dtw/warping_table.h"
+#include "suffixtree/merge.h"
+#include "suffixtree/suffix_tree.h"
+#include "suffixtree/ukkonen.h"
+#include "suffixtree/symbol_database.h"
+
+namespace tswarp {
+namespace {
+
+std::vector<Value> RandomSequence(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> v;
+  v.reserve(n);
+  Value x = rng.Uniform(20, 80);
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.Gaussian(0, 1);
+    v.push_back(x);
+  }
+  return v;
+}
+
+void BM_DtwDistance(benchmark::State& state) {
+  const auto a = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = RandomSequence(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_DtwDistance)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DtwWithinThreshold(benchmark::State& state) {
+  const auto a = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = RandomSequence(static_cast<std::size_t>(state.range(0)), 2);
+  const Value eps = static_cast<Value>(state.range(1));
+  for (auto _ : state) {
+    Value d = 0;
+    benchmark::DoNotOptimize(dtw::DtwWithinThreshold(a, b, eps, &d));
+  }
+}
+BENCHMARK(BM_DtwWithinThreshold)
+    ->Args({64, 5})
+    ->Args({64, 50})
+    ->Args({256, 5})
+    ->Args({256, 50});
+
+void BM_WarpingTablePushRow(benchmark::State& state) {
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 3);
+  Rng rng(4);
+  dtw::WarpingTable table(q);
+  for (auto _ : state) {
+    table.PushRowValue(rng.Uniform(0, 100));
+    if (table.NumRows() > 512) table.PopRows(512);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WarpingTablePushRow)->Arg(20)->Arg(100);
+
+suffixtree::SymbolDatabase CategorizedStocks(std::size_t num_sequences,
+                                             std::size_t num_categories) {
+  datagen::StockOptions opt;
+  opt.num_sequences = num_sequences;
+  seqdb::SequenceDatabase db = datagen::GenerateStocks(opt);
+  const std::vector<Value> values = categorize::CollectValues(db);
+  auto alphabet =
+      categorize::BuildMaxEntropy(values, num_categories).value();
+  categorize::CategorizedDatabase converted =
+      categorize::ConvertDatabase(db, &alphabet);
+  return suffixtree::SymbolDatabase(std::move(converted.sequences));
+}
+
+void BM_SuffixTreeBuild(benchmark::State& state) {
+  const suffixtree::SymbolDatabase symbols = CategorizedStocks(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    suffixtree::SuffixTree tree = suffixtree::BuildSuffixTree(symbols);
+    benchmark::DoNotOptimize(tree.NumNodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.TotalSymbols()));
+}
+BENCHMARK(BM_SuffixTreeBuild)->Args({50, 20})->Args({50, 120})->Args({200, 20});
+
+void BM_SuffixTreeMerge(benchmark::State& state) {
+  const suffixtree::SymbolDatabase a = CategorizedStocks(
+      static_cast<std::size_t>(state.range(0)), 40);
+  const suffixtree::SymbolDatabase b = CategorizedStocks(
+      static_cast<std::size_t>(state.range(0)), 40);
+  const suffixtree::SuffixTree ta = suffixtree::BuildSuffixTree(a);
+  const suffixtree::SuffixTree tb = suffixtree::BuildSuffixTree(b);
+  for (auto _ : state) {
+    suffixtree::SuffixTree out;
+    suffixtree::MergeTrees(ta, tb, &out);
+    benchmark::DoNotOptimize(out.NumNodes());
+  }
+}
+BENCHMARK(BM_SuffixTreeMerge)->Arg(20)->Arg(50);
+
+
+void BM_DtwLowerBound(benchmark::State& state) {
+  Rng rng(5);
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  std::vector<dtw::Interval> cs;
+  for (int i = 0; i < state.range(0); ++i) {
+    const Value v = rng.Uniform(20, 80);
+    cs.push_back({v - 1.0, v + 1.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwLowerBound(q, cs));
+  }
+}
+BENCHMARK(BM_DtwLowerBound)->Arg(20)->Arg(100);
+
+void BM_DtwAlign(benchmark::State& state) {
+  const auto a = RandomSequence(static_cast<std::size_t>(state.range(0)), 8);
+  const auto b = RandomSequence(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwAlign(a, b).distance);
+  }
+}
+BENCHMARK(BM_DtwAlign)->Arg(32)->Arg(128);
+
+void BM_UkkonenVsInsertion(benchmark::State& state) {
+  // Single sequence with a small alphabet: Ukkonen's linear construction
+  // vs the suffix-insertion builder.
+  Rng rng(6);
+  suffixtree::SymbolDatabase db;
+  suffixtree::SymbolSequence s;
+  for (int i = 0; i < state.range(0); ++i) {
+    s.push_back(static_cast<Symbol>(rng.UniformInt(0, 3)));
+  }
+  db.Add(std::move(s));
+  const bool use_ukkonen = state.range(1) != 0;
+  for (auto _ : state) {
+    if (use_ukkonen) {
+      benchmark::DoNotOptimize(
+          suffixtree::BuildSuffixTreeUkkonen(db, 0).NumNodes());
+    } else {
+      suffixtree::SuffixTreeBuilder builder(&db);
+      builder.InsertSequence(0);
+      benchmark::DoNotOptimize(builder.Build().NumNodes());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UkkonenVsInsertion)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+
+}  // namespace
+}  // namespace tswarp

@@ -1,0 +1,75 @@
+// Reproduces Table 1 of the paper: index sizes (KB) of ST, ST_C (EL, ME)
+// and SST_C (EL, ME) on the stock data set for category counts
+// {10, 20, 40, 80, 120, 160, 200, 250, 300}.
+//
+// Expected shape (paper): ST is orders of magnitude larger than ST_C;
+// SST_C is smaller than ST_C; both categorized indexes grow with the
+// number of categories; ME indexes are larger than EL at the same count
+// (better-balanced categories share fewer long runs).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "categorize/categorizer.h"
+#include "core/index.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperStockDb;
+using categorize::Method;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+double IndexKb(const seqdb::SequenceDatabase& db, IndexKind kind,
+               Method method, std::size_t categories) {
+  IndexOptions options;
+  options.kind = kind;
+  options.method = method;
+  options.num_categories = categories;
+  auto index = Index::Build(&db, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    return -1;
+  }
+  return static_cast<double>(index->build_info().index_bytes) / 1024.0;
+}
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  std::printf("Table 1: index sizes (KB); stock data, %zu sequences, "
+              "avg length %.0f, database %.0f KB\n",
+              db.size(), db.AverageLength(),
+              static_cast<double>(db.DataBytes()) / 1024.0);
+  std::printf("(paper reports: ST 158,512 KB; ST_C/SST_C grow with "
+              "#categories; SST_C << ST_C << ST)\n\n");
+
+  const double st_kb = IndexKb(db, IndexKind::kSuffixTree, Method::kMaxEntropy,
+                               0);
+  std::printf("%-6s %12s %12s %12s %12s %12s\n", "#cat", "ST", "ST_C(EL)",
+              "ST_C(ME)", "SST_C(EL)", "SST_C(ME)");
+  std::vector<std::size_t> counts = {10, 20, 40, 80, 120, 160, 200, 250, 300};
+  if (quick) counts = {10, 40, 160};
+  for (std::size_t c : counts) {
+    const double stc_el = IndexKb(db, IndexKind::kCategorized,
+                                  Method::kEqualLength, c);
+    const double stc_me = IndexKb(db, IndexKind::kCategorized,
+                                  Method::kMaxEntropy, c);
+    const double sstc_el = IndexKb(db, IndexKind::kSparse,
+                                   Method::kEqualLength, c);
+    const double sstc_me = IndexKb(db, IndexKind::kSparse,
+                                   Method::kMaxEntropy, c);
+    std::printf("%-6zu %12.0f %12.0f %12.0f %12.0f %12.0f\n", c, st_kb,
+                stc_el, stc_me, sstc_el, sstc_me);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

@@ -1,0 +1,87 @@
+// Reproduces Table 2 of the paper: average query processing time of
+// SimSearch-ST, SimSearch-ST_C (EL, ME) and SimSearch-SST_C (EL, ME) on
+// the stock data with distance threshold epsilon = 30, across category
+// counts {10, 20, 40, 80, 120, 160, 200, 250, 300}.
+//
+// Expected shape (paper): categorized searches get faster as categories
+// increase, then slow down past an optimum; SST_C <= ST_C at similar
+// index sizes; ME beats EL at small category counts.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "categorize/categorizer.h"
+#include "core/index.h"
+
+namespace tswarp {
+namespace {
+
+using bench::AvgIndexQuerySeconds;
+using bench::PaperQueries;
+using bench::PaperStockDb;
+using categorize::Method;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+double BuildAndMeasure(const seqdb::SequenceDatabase& db,
+                       const std::vector<seqdb::Sequence>& queries,
+                       IndexKind kind, Method method, std::size_t categories,
+                       Value epsilon) {
+  IndexOptions options;
+  options.kind = kind;
+  options.method = method;
+  options.num_categories = categories;
+  auto index = Index::Build(&db, options);
+  if (!index.ok()) return -1;
+  return AvgIndexQuerySeconds(*index, queries, epsilon);
+}
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 5 : 10));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 30));
+
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+
+  std::printf("Table 2: average query time (sec); stock data, epsilon %.0f, "
+              "%zu queries (avg len 20)\n",
+              epsilon, queries.size());
+  std::printf("(paper: ST 55.3s flat; ST_C/SST_C drop with #categories to "
+              "an optimum, then rise; ME < EL at low counts)\n\n");
+
+  IndexOptions st_options;
+  st_options.kind = IndexKind::kSuffixTree;
+  auto st = Index::Build(&db, st_options);
+  const double st_time =
+      st.ok() ? AvgIndexQuerySeconds(*st, queries, epsilon) : -1;
+
+  std::printf("%-6s %14s %14s %14s %14s %14s\n", "#cat", "SimSearch-ST",
+              "ST_C(EL)", "ST_C(ME)", "SST_C(EL)", "SST_C(ME)");
+  std::vector<std::size_t> counts = {10, 20, 40, 80, 120, 160, 200, 250, 300};
+  if (quick) counts = {10, 40, 160};
+  for (std::size_t c : counts) {
+    const double stc_el = BuildAndMeasure(db, queries,
+                                          IndexKind::kCategorized,
+                                          Method::kEqualLength, c, epsilon);
+    const double stc_me = BuildAndMeasure(db, queries,
+                                          IndexKind::kCategorized,
+                                          Method::kMaxEntropy, c, epsilon);
+    const double sstc_el = BuildAndMeasure(db, queries, IndexKind::kSparse,
+                                           Method::kEqualLength, c, epsilon);
+    const double sstc_me = BuildAndMeasure(db, queries, IndexKind::kSparse,
+                                           Method::kMaxEntropy, c, epsilon);
+    std::printf("%-6zu %14.4f %14.4f %14.4f %14.4f %14.4f\n", c, st_time,
+                stc_el, stc_me, sstc_el, sstc_me);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

@@ -1,0 +1,117 @@
+// ECG monitor: the paper's medical motivation — "finding patients whose
+// lung lesions have similar evolution characteristics" / matching of
+// electrocardiograms. A reference beat morphology is searched across
+// recordings whose instantaneous heart rates differ; the time warping
+// distance matches the same morphology at 60 or 90 bpm, where a
+// fixed-rate (Euclidean) template would fail.
+//
+//   ./ecg_monitor
+
+#include <cstdio>
+#include <vector>
+
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+#include "dtw/dtw.h"
+
+using tswarp::Pos;
+using tswarp::SeqId;
+using tswarp::Value;
+using tswarp::core::Index;
+using tswarp::core::IndexOptions;
+using tswarp::core::Match;
+
+int main() {
+  // 1. A ward of 50 synthetic ECG channels with varying rates and noise.
+  tswarp::datagen::EcgOptions ecg_options;
+  ecg_options.num_sequences = 50;
+  ecg_options.length = 600;
+  ecg_options.period_jitter = 6.0;  // Rates wander beat to beat.
+  tswarp::seqdb::SequenceDatabase ward =
+      tswarp::datagen::GenerateEcg(ecg_options);
+  std::printf("ward: %zu channels x %zu samples\n", ward.size(),
+              ecg_options.length);
+
+  // 2. The reference morphology: one clean beat cut from channel 0.
+  //    (In practice a cardiologist would mark this template.)
+  const tswarp::seqdb::Sequence& channel0 = ward.sequence(0);
+  Pos peak = 0;
+  for (Pos p = 1; p + 1 < channel0.size(); ++p) {
+    if (channel0[p] > channel0[peak]) peak = p;
+  }
+  const Pos beat_start = peak > 6 ? peak - 6 : 0;
+  const Pos beat_len = 16;
+  tswarp::seqdb::Sequence beat(
+      channel0.begin() + beat_start,
+      channel0.begin() + std::min<std::size_t>(beat_start + beat_len,
+                                               channel0.size()));
+  std::printf("template: %zu samples around the tallest R-peak of "
+              "channel 0\n", beat.size());
+
+  // 3. Index the ward with a dense categorized tree (ST_C) — the sparse
+  //    variant works too; dense keeps this example's stats simple.
+  IndexOptions options;
+  options.kind = tswarp::core::IndexKind::kSparse;
+  options.num_categories = 48;
+  auto index = Index::Build(&ward, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Find every beat in the ward similar to the template. The epsilon
+  //    budget allows per-sample deviations plus rate differences.
+  const Value epsilon = 40.0;
+  tswarp::core::SearchStats stats;
+  const std::vector<Match> matches = index->Search(beat, epsilon, {},
+                                                   &stats);
+
+  // Count detected beats per channel (merge overlapping windows).
+  std::vector<int> beats_per_channel(ward.size(), 0);
+  std::vector<Pos> last_end(ward.size(), 0);
+  for (const Match& m : matches) {
+    if (beats_per_channel[m.seq] == 0 || m.start > last_end[m.seq]) {
+      ++beats_per_channel[m.seq];
+      last_end[m.seq] = m.start + m.len;
+    } else {
+      last_end[m.seq] = std::max(last_end[m.seq], m.start + m.len);
+    }
+  }
+  int channels_with_beats = 0;
+  int total_beats = 0;
+  for (std::size_t c = 0; c < ward.size(); ++c) {
+    if (beats_per_channel[c] > 0) ++channels_with_beats;
+    total_beats += beats_per_channel[c];
+  }
+  std::printf("\nepsilon %.0f: %zu matching windows -> ~%d distinct beats "
+              "on %d/%zu channels\n", epsilon, matches.size(), total_beats,
+              channels_with_beats, ward.size());
+  std::printf("search work: %llu nodes, %llu rows, %llu exact "
+              "verifications\n",
+              static_cast<unsigned long long>(stats.nodes_visited),
+              static_cast<unsigned long long>(stats.rows_pushed),
+              static_cast<unsigned long long>(stats.exact_dtw_calls));
+
+  // 5. Show that warping is doing real work: the best match per channel
+  //    varies in window length (different heart rates), yet all are close
+  //    in D_tw.
+  std::printf("\nbest match per channel (first 10 channels):\n");
+  std::printf("%-9s %-12s %-6s %-8s\n", "channel", "window", "len", "D_tw");
+  for (SeqId c = 0; c < 10 && c < ward.size(); ++c) {
+    const Match* best = nullptr;
+    for (const Match& m : matches) {
+      if (m.seq == c && (best == nullptr || m.distance < best->distance)) {
+        best = &m;
+      }
+    }
+    if (best == nullptr) {
+      std::printf("C%-8u (no beat under epsilon)\n", c);
+    } else {
+      std::printf("C%-8u [%4u..%4u] %-6u %.2f\n", c, best->start,
+                  best->start + best->len - 1, best->len, best->distance);
+    }
+  }
+  return 0;
+}

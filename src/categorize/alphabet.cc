@@ -1,0 +1,60 @@
+#include "categorize/alphabet.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tswarp::categorize {
+
+StatusOr<Alphabet> Alphabet::FromBoundaries(std::vector<Value> boundaries) {
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument("need at least two boundaries");
+  }
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    return Status::InvalidArgument("boundaries must be sorted");
+  }
+  if (std::adjacent_find(boundaries.begin(), boundaries.end()) !=
+      boundaries.end()) {
+    return Status::InvalidArgument("boundaries must be strictly increasing");
+  }
+  Alphabet a;
+  a.boundaries_ = std::move(boundaries);
+  const std::size_t c = a.boundaries_.size() - 1;
+  a.categories_.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    a.categories_.push_back({a.boundaries_[i], a.boundaries_[i + 1]});
+  }
+  a.fitted_.assign(c, false);
+  return a;
+}
+
+Symbol Alphabet::ToSymbol(Value v) const {
+  // Category i spans [b_i, b_{i+1}); upper_bound finds the first boundary
+  // strictly greater than v.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  std::ptrdiff_t idx = (it - boundaries_.begin()) - 1;
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(size()) - 1);
+  return static_cast<Symbol>(idx);
+}
+
+const Category& Alphabet::category(Symbol s) const {
+  TSW_CHECK(s >= 0 && static_cast<std::size_t>(s) < categories_.size())
+      << "bad symbol " << s;
+  return categories_[static_cast<std::size_t>(s)];
+}
+
+void Alphabet::FitValue(Value v) {
+  const auto s = static_cast<std::size_t>(ToSymbol(v));
+  Category& c = categories_[s];
+  if (!fitted_[s]) {
+    c.lb = v;
+    c.ub = v;
+    fitted_[s] = true;
+  } else {
+    c.lb = std::min(c.lb, v);
+    c.ub = std::max(c.ub, v);
+  }
+}
+
+}  // namespace tswarp::categorize

@@ -1,0 +1,71 @@
+#ifndef TSWARP_CATEGORIZE_ALPHABET_H_
+#define TSWARP_CATEGORIZE_ALPHABET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dtw/dtw.h"
+
+namespace tswarp::categorize {
+
+/// A category: an interval of element values. `lb`/`ub` are the minimum and
+/// maximum element values *found in* the category (paper Section 5.3) once
+/// the alphabet has been fitted to data; before fitting they are the nominal
+/// category boundaries.
+struct Category {
+  Value lb;
+  Value ub;
+};
+
+/// A discrete alphabet produced by a categorization method: an ordered set
+/// of categories covering the value range. Converts continuous values to
+/// dense Symbols and exposes per-category [lb, ub] intervals for the
+/// D_tw-lb lower bound.
+class Alphabet {
+ public:
+  /// Builds an alphabet from nominal boundaries b_0 < b_1 < ... < b_c;
+  /// category i spans [b_i, b_{i+1}). The last category is closed above.
+  /// Duplicate boundaries are rejected.
+  static StatusOr<Alphabet> FromBoundaries(std::vector<Value> boundaries);
+
+  /// Number of categories (the paper's c).
+  std::size_t size() const { return categories_.size(); }
+
+  /// Maps a value to its category symbol. Values outside the nominal range
+  /// are clamped to the first/last category; FitValue() must have seen them
+  /// for the lower-bound property to hold.
+  Symbol ToSymbol(Value v) const;
+
+  const Category& category(Symbol s) const;
+
+  /// The [lb, ub] interval of a category as a DTW Interval.
+  dtw::Interval ToInterval(Symbol s) const {
+    const Category& c = category(s);
+    return {c.lb, c.ub};
+  }
+
+  /// Records that `v` was categorized as ToSymbol(v), widening or (first
+  /// call per category) tightening that category's [lb, ub] to the observed
+  /// data. After fitting every indexed value, lb/ub are exactly the min/max
+  /// element values found in the category, as the paper specifies.
+  void FitValue(Value v);
+
+  /// True once at least one value has been fitted into category `s`.
+  bool IsFitted(Symbol s) const { return fitted_[static_cast<size_t>(s)]; }
+
+  /// Nominal boundary vector (size() + 1 entries).
+  std::span<const Value> boundaries() const { return boundaries_; }
+
+ private:
+  Alphabet() = default;
+
+  std::vector<Value> boundaries_;    // size c+1, strictly increasing.
+  std::vector<Category> categories_; // size c.
+  std::vector<bool> fitted_;         // size c.
+};
+
+}  // namespace tswarp::categorize
+
+#endif  // TSWARP_CATEGORIZE_ALPHABET_H_

@@ -1,0 +1,222 @@
+#include "categorize/categorizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tswarp::categorize {
+namespace {
+
+Status ValidateInput(std::span<const Value> values,
+                     std::size_t num_categories) {
+  if (values.empty()) return Status::InvalidArgument("no values");
+  if (num_categories == 0) {
+    return Status::InvalidArgument("need at least one category");
+  }
+  return Status::OK();
+}
+
+std::pair<Value, Value> MinMax(std::span<const Value> values) {
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return {*lo, *hi};
+}
+
+/// Builds an alphabet from possibly-duplicated interior boundaries by
+/// deduplicating and dropping empty categories.
+StatusOr<Alphabet> FromDedupedBoundaries(std::vector<Value> boundaries) {
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument(
+        "value range degenerate: all values equal");
+  }
+  return Alphabet::FromBoundaries(std::move(boundaries));
+}
+
+}  // namespace
+
+const char* MethodToString(Method m) {
+  switch (m) {
+    case Method::kEqualLength:
+      return "EL";
+    case Method::kMaxEntropy:
+      return "ME";
+    case Method::kKMeans:
+      return "KM";
+  }
+  return "?";
+}
+
+StatusOr<Alphabet> BuildEqualLength(std::span<const Value> values,
+                                    std::size_t num_categories) {
+  TSW_RETURN_IF_ERROR(ValidateInput(values, num_categories));
+  auto [lo, hi] = MinMax(values);
+  if (!(hi > lo)) {
+    return Status::InvalidArgument("value range degenerate: all values equal");
+  }
+  std::vector<Value> boundaries;
+  boundaries.reserve(num_categories + 1);
+  const Value width = (hi - lo) / static_cast<Value>(num_categories);
+  for (std::size_t i = 0; i <= num_categories; ++i) {
+    boundaries.push_back(lo + width * static_cast<Value>(i));
+  }
+  boundaries.back() = hi;  // Guard against floating-point drift.
+  return FromDedupedBoundaries(std::move(boundaries));
+}
+
+StatusOr<Alphabet> BuildMaxEntropy(std::span<const Value> values,
+                                   std::size_t num_categories) {
+  TSW_RETURN_IF_ERROR(ValidateInput(values, num_categories));
+  std::vector<Value> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  std::vector<Value> boundaries;
+  boundaries.reserve(num_categories + 1);
+  boundaries.push_back(sorted.front());
+  for (std::size_t i = 1; i < num_categories; ++i) {
+    // Quantile boundary: every category gets ~n/c elements, which equalizes
+    // P(C_i) and hence maximizes the entropy (paper Section 5.1).
+    const std::size_t idx = (i * n) / num_categories;
+    boundaries.push_back(sorted[idx]);
+  }
+  boundaries.push_back(sorted.back());
+  return FromDedupedBoundaries(std::move(boundaries));
+}
+
+StatusOr<Alphabet> BuildKMeans(std::span<const Value> values,
+                               std::size_t num_categories, int max_iters,
+                               std::uint64_t seed) {
+  TSW_RETURN_IF_ERROR(ValidateInput(values, num_categories));
+  std::vector<Value> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (!(sorted.back() > sorted.front())) {
+    return Status::InvalidArgument("value range degenerate: all values equal");
+  }
+
+  // Seed centers at quantiles, with a small jitter so ties break
+  // deterministically but not degenerately.
+  Rng rng(seed);
+  std::vector<Value> centers;
+  centers.reserve(num_categories);
+  for (std::size_t i = 0; i < num_categories; ++i) {
+    const std::size_t idx =
+        std::min(n - 1, ((2 * i + 1) * n) / (2 * num_categories));
+    centers.push_back(sorted[idx]);
+  }
+  std::sort(centers.begin(), centers.end());
+  centers.erase(std::unique(centers.begin(), centers.end()), centers.end());
+  while (centers.size() < num_categories) {
+    centers.push_back(rng.Uniform(sorted.front(), sorted.back()));
+    std::sort(centers.begin(), centers.end());
+    centers.erase(std::unique(centers.begin(), centers.end()), centers.end());
+  }
+
+  // Lloyd iterations exploiting 1-D ordering: cluster k owns the sorted
+  // range between midpoints of adjacent centers.
+  std::vector<Value> sums(centers.size());
+  std::vector<std::size_t> counts(centers.size());
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    std::size_t k = 0;
+    for (Value v : sorted) {
+      while (k + 1 < centers.size() &&
+             v > (centers[k] + centers[k + 1]) / 2) {
+        ++k;
+      }
+      sums[k] += v;
+      ++counts[k];
+    }
+    bool moved = false;
+    for (std::size_t i = 0; i < centers.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const Value next = sums[i] / static_cast<Value>(counts[i]);
+      if (std::fabs(next - centers[i]) > 1e-12) moved = true;
+      centers[i] = next;
+    }
+    std::sort(centers.begin(), centers.end());
+    if (!moved) break;
+  }
+
+  std::vector<Value> boundaries;
+  boundaries.reserve(centers.size() + 1);
+  boundaries.push_back(sorted.front());
+  for (std::size_t i = 0; i + 1 < centers.size(); ++i) {
+    boundaries.push_back((centers[i] + centers[i + 1]) / 2);
+  }
+  boundaries.push_back(sorted.back());
+  return FromDedupedBoundaries(std::move(boundaries));
+}
+
+StatusOr<Alphabet> Build(Method method, std::span<const Value> values,
+                         std::size_t num_categories, std::uint64_t seed) {
+  switch (method) {
+    case Method::kEqualLength:
+      return BuildEqualLength(values, num_categories);
+    case Method::kMaxEntropy:
+      return BuildMaxEntropy(values, num_categories);
+    case Method::kKMeans:
+      return BuildKMeans(values, num_categories, /*max_iters=*/32, seed);
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+std::vector<Value> CollectValues(const seqdb::SequenceDatabase& db) {
+  std::vector<Value> out;
+  out.reserve(db.TotalElements());
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+double CategorizationEntropy(std::span<const Value> values,
+                             const Alphabet& alphabet) {
+  TSW_CHECK(!values.empty());
+  std::vector<std::size_t> counts(alphabet.size(), 0);
+  for (Value v : values) {
+    ++counts[static_cast<std::size_t>(alphabet.ToSymbol(v))];
+  }
+  double h = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<Symbol> Convert(std::span<const Value> seq,
+                            const Alphabet& alphabet) {
+  std::vector<Symbol> out;
+  out.reserve(seq.size());
+  for (Value v : seq) out.push_back(alphabet.ToSymbol(v));
+  return out;
+}
+
+CategorizedDatabase ConvertDatabase(const seqdb::SequenceDatabase& db,
+                                    Alphabet* alphabet) {
+  TSW_CHECK(alphabet != nullptr);
+  CategorizedDatabase out;
+  out.sequences.reserve(db.size());
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    std::vector<Symbol> cs;
+    cs.reserve(s.size());
+    for (Value v : s) {
+      cs.push_back(alphabet->ToSymbol(v));
+      alphabet->FitValue(v);
+    }
+    out.sequences.push_back(std::move(cs));
+  }
+  return out;
+}
+
+}  // namespace tswarp::categorize

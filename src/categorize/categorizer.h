@@ -1,0 +1,81 @@
+#ifndef TSWARP_CATEGORIZE_CATEGORIZER_H_
+#define TSWARP_CATEGORIZE_CATEGORIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "categorize/alphabet.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp::categorize {
+
+/// Categorization method (paper Section 5.1, plus k-means which the paper
+/// mentions as an alternative).
+enum class Method {
+  kEqualLength,   // EL: equal interval width (MAX-MIN)/c.
+  kMaxEntropy,    // ME: equal-frequency boundaries maximizing entropy.
+  kKMeans,        // 1-D Lloyd's algorithm; boundaries at center midpoints.
+};
+
+const char* MethodToString(Method m);
+
+/// Equal-length categorization: c categories of width (MAX-MIN)/c over the
+/// observed value range of `values`. Requires c >= 1 and a non-degenerate
+/// value range (MAX > MIN).
+StatusOr<Alphabet> BuildEqualLength(std::span<const Value> values,
+                                    std::size_t num_categories);
+
+/// Maximum-entropy categorization: boundaries chosen so every category holds
+/// (as nearly as possible) the same number of elements, which maximizes
+/// H(C) = -sum P(C_i) log P(C_i). Duplicate quantile boundaries are merged,
+/// so the result may have fewer than `num_categories` categories.
+StatusOr<Alphabet> BuildMaxEntropy(std::span<const Value> values,
+                                   std::size_t num_categories);
+
+/// 1-D k-means categorization: Lloyd iterations from quantile-seeded
+/// centers; category boundaries at midpoints between adjacent centers.
+StatusOr<Alphabet> BuildKMeans(std::span<const Value> values,
+                               std::size_t num_categories, int max_iters,
+                               std::uint64_t seed);
+
+/// Dispatch over Method. `seed` is only used by k-means.
+StatusOr<Alphabet> Build(Method method, std::span<const Value> values,
+                         std::size_t num_categories, std::uint64_t seed = 1);
+
+/// Flattens a database into one value vector (input to the Build* functions).
+std::vector<Value> CollectValues(const seqdb::SequenceDatabase& db);
+
+/// Shannon entropy of the categorization of `values` under `alphabet`,
+/// in nats. Used by tests and the categorizer ablation.
+double CategorizationEntropy(std::span<const Value> values,
+                             const Alphabet& alphabet);
+
+/// Converts one sequence to symbols without fitting the alphabet.
+std::vector<Symbol> Convert(std::span<const Value> seq,
+                            const Alphabet& alphabet);
+
+/// A database converted to category symbols, parallel to the source
+/// SequenceDatabase.
+struct CategorizedDatabase {
+  std::vector<std::vector<Symbol>> sequences;
+
+  std::size_t size() const { return sequences.size(); }
+  const std::vector<Symbol>& sequence(SeqId id) const {
+    return sequences[id];
+  }
+};
+
+/// Converts every sequence of `db` and fits `alphabet`'s category [lb, ub]
+/// intervals to the observed per-category min/max (paper Section 5.3: the
+/// minimum and maximum element values found in the category). The fitted
+/// alphabet is what guarantees D_tw-lb <= D_tw for indexed data.
+CategorizedDatabase ConvertDatabase(const seqdb::SequenceDatabase& db,
+                                    Alphabet* alphabet);
+
+}  // namespace tswarp::categorize
+
+#endif  // TSWARP_CATEGORIZE_CATEGORIZER_H_

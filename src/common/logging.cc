@@ -1,0 +1,15 @@
+#include "common/logging.h"
+
+namespace tswarp {
+namespace internal_logging {
+
+void DieCheckFailure(const char* file, int line, const char* expr,
+                     const std::string& msg) {
+  std::fprintf(stderr, "tswarp: CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace tswarp

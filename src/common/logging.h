@@ -1,0 +1,62 @@
+#ifndef TSWARP_COMMON_LOGGING_H_
+#define TSWARP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tswarp {
+namespace internal_logging {
+
+[[noreturn]] void DieCheckFailure(const char* file, int line,
+                                  const char* expr, const std::string& msg);
+
+/// Stream sink that aborts with the accumulated message on destruction.
+/// Used by TSW_CHECK(cond) << "extra context";
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckFailureStream() {
+    DieCheckFailure(file_, line_, expr_, stream_.str());
+  }
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tswarp
+
+/// Aborts with a diagnostic when `condition` is false. For invariants and
+/// programming errors only; recoverable failures must return Status.
+#define TSW_CHECK(condition)                                              \
+  while (!(condition))                                                    \
+  ::tswarp::internal_logging::CheckFailureStream(__FILE__, __LINE__,      \
+                                                 #condition)
+
+#define TSW_CHECK_EQ(a, b) TSW_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSW_CHECK_LE(a, b) TSW_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSW_CHECK_LT(a, b) TSW_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSW_CHECK_GE(a, b) TSW_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSW_CHECK_GT(a, b) TSW_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define TSW_DCHECK(condition) TSW_CHECK(true || (condition))
+#else
+#define TSW_DCHECK(condition) TSW_CHECK(condition)
+#endif
+
+#endif  // TSWARP_COMMON_LOGGING_H_

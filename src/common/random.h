@@ -1,0 +1,52 @@
+#ifndef TSWARP_COMMON_RANDOM_H_
+#define TSWARP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/logging.h"
+
+namespace tswarp {
+
+/// Deterministic random source. All tswarp generators and benchmarks take
+/// an explicit seed so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    TSW_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    TSW_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal deviate.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal deviate with the given underlying normal parameters.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Coin(double p_true) {
+    return std::bernoulli_distribution(p_true)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tswarp
+
+#endif  // TSWARP_COMMON_RANDOM_H_

@@ -1,0 +1,29 @@
+#ifndef TSWARP_COMMON_TYPES_H_
+#define TSWARP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tswarp {
+
+/// Identifier of a sequence inside a SequenceDatabase (0-based).
+using SeqId = std::uint32_t;
+
+/// 0-based position of an element inside a sequence.
+using Pos = std::uint32_t;
+
+/// Continuous element value. The paper's sequences are univariate reals.
+using Value = double;
+
+/// Discrete category symbol produced by a Categorizer. Symbols are dense
+/// integers in [0, num_categories). kNoSymbol marks "not categorized".
+using Symbol = std::int32_t;
+
+inline constexpr Symbol kNoSymbol = -1;
+
+/// Positive infinity used as the identity of min() in DTW tables.
+inline constexpr Value kInfinity = std::numeric_limits<Value>::infinity();
+
+}  // namespace tswarp
+
+#endif  // TSWARP_COMMON_TYPES_H_

@@ -1,0 +1,75 @@
+#include "core/category_selection.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace tswarp::core {
+
+StatusOr<CategorySelectionResult> SelectNumCategories(
+    const seqdb::SequenceDatabase& db,
+    const std::vector<seqdb::Sequence>& queries,
+    const CategorySelectionOptions& options) {
+  if (options.candidates.empty()) {
+    return Status::InvalidArgument("no candidate category counts");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("no sample queries");
+  }
+  if (options.kind == IndexKind::kSuffixTree) {
+    return Status::InvalidArgument(
+        "category selection applies to categorized indexes only");
+  }
+
+  CategorySelectionResult result;
+  for (const std::size_t c : options.candidates) {
+    IndexOptions index_options;
+    index_options.kind = options.kind;
+    index_options.method = options.method;
+    index_options.num_categories = c;
+    auto index = Index::Build(&db, index_options);
+    if (!index.ok()) continue;  // Degenerate candidate; skip.
+
+    const auto start = std::chrono::steady_clock::now();
+    for (const seqdb::Sequence& q : queries) {
+      index->Search(q, options.epsilon);
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        static_cast<double>(queries.size());
+
+    CategoryCandidateCost cost;
+    cost.num_categories = c;
+    cost.query_seconds = seconds;
+    cost.index_bytes = index->build_info().index_bytes;
+    result.measured.push_back(cost);
+  }
+  if (result.measured.empty()) {
+    return Status::FailedPrecondition(
+        "every candidate category count failed to build");
+  }
+
+  double max_time = 0.0;
+  double max_space = 0.0;
+  for (const CategoryCandidateCost& m : result.measured) {
+    max_time = std::max(max_time, m.query_seconds);
+    max_space = std::max(max_space, static_cast<double>(m.index_bytes));
+  }
+  double best = kInfinity;
+  for (CategoryCandidateCost& m : result.measured) {
+    const double t = max_time > 0 ? m.query_seconds / max_time : 0.0;
+    const double s =
+        max_space > 0 ? static_cast<double>(m.index_bytes) / max_space : 0.0;
+    m.combined = options.time_weight * t + options.space_weight * s;
+    if (m.combined < best) {
+      best = m.combined;
+      result.best_num_categories = m.num_categories;
+    }
+  }
+  return result;
+}
+
+}  // namespace tswarp::core

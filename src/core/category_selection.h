@@ -1,0 +1,59 @@
+#ifndef TSWARP_CORE_CATEGORY_SELECTION_H_
+#define TSWARP_CORE_CATEGORY_SELECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/index.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp::core {
+
+/// Configuration for the experiment-based category-count selection of
+/// paper Section 5.1: "do many experiments on the set of sequences and
+/// determine the best number of categories using the cost function
+/// W_t * C_t + W_s * C_s".
+struct CategorySelectionOptions {
+  /// Candidate category counts to evaluate.
+  std::vector<std::size_t> candidates = {10, 20, 40, 80, 120, 160, 200};
+
+  /// Relative weights of query-time cost (C_t) and index-space cost (C_s).
+  /// Both costs are normalized by their maximum across candidates before
+  /// weighting, so the weights are scale-free. "The determination of these
+  /// weights is application-dependent" (paper 5.1).
+  double time_weight = 1.0;
+  double space_weight = 1.0;
+
+  /// Index configuration evaluated at each candidate count.
+  IndexKind kind = IndexKind::kSparse;
+  categorize::Method method = categorize::Method::kMaxEntropy;
+
+  /// Distance threshold the sample queries are run at.
+  Value epsilon = 10.0;
+};
+
+/// Per-candidate measurements.
+struct CategoryCandidateCost {
+  std::size_t num_categories = 0;
+  double query_seconds = 0.0;      // C_t: average query wall time.
+  std::uint64_t index_bytes = 0;   // C_s.
+  double combined = 0.0;           // W_t * C_t' + W_s * C_s' (normalized).
+};
+
+struct CategorySelectionResult {
+  std::size_t best_num_categories = 0;
+  std::vector<CategoryCandidateCost> measured;
+};
+
+/// Runs the selection experiment: builds one index per candidate count,
+/// executes the sample `queries`, and returns the candidate minimizing the
+/// weighted normalized cost. Candidates whose index fails to build (e.g. a
+/// degenerate value range) are skipped; it is an error if all fail.
+StatusOr<CategorySelectionResult> SelectNumCategories(
+    const seqdb::SequenceDatabase& db,
+    const std::vector<seqdb::Sequence>& queries,
+    const CategorySelectionOptions& options);
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_CATEGORY_SELECTION_H_

@@ -1,0 +1,43 @@
+#include "core/consolidate.h"
+
+#include <algorithm>
+
+namespace tswarp::core {
+
+std::vector<Match> ConsolidateMatches(std::vector<Match> matches,
+                                      const ConsolidateOptions& options) {
+  if (matches.empty()) return matches;
+  std::sort(matches.begin(), matches.end(), MatchLess);
+
+  std::vector<Match> out;
+  Match best = matches.front();
+  // End (exclusive) of the current overlap group, extended as windows are
+  // absorbed.
+  Pos group_end = matches.front().start + matches.front().len;
+  SeqId group_seq = matches.front().seq;
+
+  auto better = [](const Match& a, const Match& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    if (a.start != b.start) return a.start < b.start;
+    return a.len < b.len;
+  };
+
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    const Match& m = matches[i];
+    const bool same_group =
+        m.seq == group_seq && m.start <= group_end + options.max_gap;
+    if (same_group) {
+      group_end = std::max(group_end, m.start + m.len);
+      if (better(m, best)) best = m;
+    } else {
+      out.push_back(best);
+      best = m;
+      group_seq = m.seq;
+      group_end = m.start + m.len;
+    }
+  }
+  out.push_back(best);
+  return out;
+}
+
+}  // namespace tswarp::core

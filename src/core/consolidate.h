@@ -1,0 +1,30 @@
+#ifndef TSWARP_CORE_CONSOLIDATE_H_
+#define TSWARP_CORE_CONSOLIDATE_H_
+
+#include <vector>
+
+#include "core/match.h"
+
+namespace tswarp::core {
+
+/// Range queries under time warping return *every* qualifying window, so a
+/// single underlying event typically appears as a cluster of overlapping
+/// matches (shifted starts, stretched lengths). ConsolidateMatches groups
+/// matches of the same sequence whose windows overlap (transitively) and
+/// keeps one representative per group.
+struct ConsolidateOptions {
+  /// Windows closer than this many positions apart (gap between the end of
+  /// one and the start of the next) are still grouped. 0 = require true
+  /// overlap.
+  Pos max_gap = 0;
+};
+
+/// Returns one minimum-distance representative per overlap group, sorted
+/// by (seq, start, len). Ties on distance keep the earlier, shorter
+/// window.
+std::vector<Match> ConsolidateMatches(std::vector<Match> matches,
+                                      const ConsolidateOptions& options = {});
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_CONSOLIDATE_H_

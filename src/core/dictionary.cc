@@ -1,0 +1,35 @@
+#include "core/dictionary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tswarp::core {
+
+void DictionaryEncode(const seqdb::SequenceDatabase& db,
+                      suffixtree::SymbolDatabase* symbols,
+                      std::vector<Value>* symbol_values) {
+  TSW_CHECK(symbols != nullptr && symbol_values != nullptr);
+  std::vector<Value> values;
+  values.reserve(db.TotalElements());
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    values.insert(values.end(), s.begin(), s.end());
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  *symbol_values = values;
+
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    suffixtree::SymbolSequence cs;
+    cs.reserve(s.size());
+    for (Value v : s) {
+      const auto it = std::lower_bound(values.begin(), values.end(), v);
+      cs.push_back(static_cast<Symbol>(it - values.begin()));
+    }
+    symbols->Add(std::move(cs));
+  }
+}
+
+}  // namespace tswarp::core

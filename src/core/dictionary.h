@@ -1,0 +1,25 @@
+#ifndef TSWARP_CORE_DICTIONARY_H_
+#define TSWARP_CORE_DICTIONARY_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "seqdb/sequence_database.h"
+#include "suffixtree/symbol_database.h"
+
+namespace tswarp::core {
+
+/// Dictionary-encodes a continuous-valued database for the *uncategorized*
+/// suffix tree (the paper's plain ST): every distinct element value becomes
+/// one symbol, so tree-path equality is exact value equality and the
+/// cumulative table built over symbol values is the exact D_tw.
+///
+/// Symbols are assigned in increasing value order; `symbol_values` maps a
+/// Symbol back to its Value.
+void DictionaryEncode(const seqdb::SequenceDatabase& db,
+                      suffixtree::SymbolDatabase* symbols,
+                      std::vector<Value>* symbol_values);
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_DICTIONARY_H_

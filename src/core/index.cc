@@ -1,0 +1,273 @@
+#include "core/index.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/dictionary.h"
+
+namespace tswarp::core {
+
+const char* IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSuffixTree:
+      return "ST";
+    case IndexKind::kCategorized:
+      return "ST_C";
+    case IndexKind::kSparse:
+      return "SST_C";
+  }
+  return "?";
+}
+
+namespace {
+
+// On-disk fingerprint guarding Index::Open against mismatched databases or
+// options. Stored at <disk_path>.index.
+struct IndexFingerprint {
+  std::uint64_t magic;
+  std::uint32_t kind;
+  std::uint32_t method;
+  std::uint64_t num_categories;
+  std::uint32_t min_suffix_length;
+  std::uint32_t max_suffix_length;
+  std::uint64_t seed;
+  std::uint64_t db_sequences;
+  std::uint64_t db_elements;
+};
+
+constexpr std::uint64_t kIndexMagic = 0x54535749444D4554ull;  // "TSWIDMET"
+
+IndexFingerprint MakeFingerprint(const seqdb::SequenceDatabase& db,
+                                 const IndexOptions& options) {
+  IndexFingerprint fp{};
+  fp.magic = kIndexMagic;
+  fp.kind = static_cast<std::uint32_t>(options.kind);
+  fp.method = static_cast<std::uint32_t>(options.method);
+  fp.num_categories = options.num_categories;
+  fp.min_suffix_length = options.min_suffix_length;
+  fp.max_suffix_length = options.max_suffix_length;
+  fp.seed = options.seed;
+  fp.db_sequences = db.size();
+  fp.db_elements = db.TotalElements();
+  return fp;
+}
+
+Status WriteFingerprint(const std::string& path,
+                        const IndexFingerprint& fp) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  const std::size_t n = std::fwrite(&fp, sizeof(fp), 1, f);
+  std::fclose(f);
+  if (n != 1) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<IndexFingerprint> ReadFingerprint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  IndexFingerprint fp{};
+  const std::size_t n = std::fread(&fp, sizeof(fp), 1, f);
+  std::fclose(f);
+  if (n != 1 || fp.magic != kIndexMagic) {
+    return Status::Corruption("bad index fingerprint " + path);
+  }
+  return fp;
+}
+
+std::string FingerprintPath(const IndexOptions& options) {
+  return options.disk_path + ".index";
+}
+
+}  // namespace
+
+/// Derives the discretized symbol database (and categorizer state) for
+/// `db` under `options`. Deterministic: Build and Open share it.
+static Status DeriveSymbols(const seqdb::SequenceDatabase& db,
+                            const IndexOptions& options, Index* index,
+                            suffixtree::SymbolDatabase* symbols,
+                            std::optional<categorize::Alphabet>* alphabet,
+                            std::vector<Value>* symbol_values,
+                            IndexBuildInfo* info) {
+  if (options.kind == IndexKind::kSuffixTree) {
+    DictionaryEncode(db, symbols, symbol_values);
+  } else {
+    const std::vector<Value> values = categorize::CollectValues(db);
+    TSW_ASSIGN_OR_RETURN(
+        categorize::Alphabet built,
+        categorize::Build(options.method, values, options.num_categories,
+                          options.seed));
+    categorize::CategorizedDatabase converted =
+        categorize::ConvertDatabase(db, &built);
+    *alphabet = std::move(built);
+    *symbols = suffixtree::SymbolDatabase(std::move(converted.sequences));
+    info->num_categories = (*alphabet)->size();
+  }
+  (void)index;
+  return Status::OK();
+}
+
+StatusOr<Index> Index::Build(const seqdb::SequenceDatabase* db,
+                             const IndexOptions& options) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  if (db->empty()) return Status::InvalidArgument("empty database");
+  if (options.kind == IndexKind::kSparse &&
+      (options.min_suffix_length != 0 || options.max_suffix_length != 0)) {
+    return Status::InvalidArgument(
+        "length-bounded indexes require banded searches, which sparse "
+        "indexes do not support (D_tw-lb2 is unsound under a band); use "
+        "kCategorized with min/max_suffix_length instead");
+  }
+
+  Index index;
+  index.db_ = db;
+  index.options_ = options;
+
+  // 1. Discretize the element values.
+  TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &index, &index.symbols_,
+                                    &index.alphabet_, &index.symbol_values_,
+                                    &index.build_info_));
+
+  // 2. Build the tree (in memory, or on disk via batched binary merges).
+  suffixtree::BuildOptions build;
+  build.sparse = options.kind == IndexKind::kSparse;
+  build.min_suffix_length = options.min_suffix_length;
+  build.max_suffix_length = options.max_suffix_length;
+
+  const suffixtree::TreeView* view = nullptr;
+  std::uint64_t stored = 0;
+  if (options.disk_path.empty()) {
+    suffixtree::SuffixTreeBuilder builder(&index.symbols_, build);
+    for (SeqId id = 0; id < index.symbols_.size(); ++id) {
+      builder.InsertSequence(id);
+    }
+    stored = builder.stored_suffixes();
+    index.build_info_.skipped_suffixes = builder.skipped_suffixes();
+    index.memory_tree_ = builder.Build();
+    view = &*index.memory_tree_;
+  } else {
+    suffixtree::DiskBuildOptions disk;
+    disk.build = build;
+    disk.batch_sequences = options.disk_batch_sequences;
+    disk.tree.pool_pages = options.disk_pool_pages;
+    TSW_ASSIGN_OR_RETURN(
+        index.disk_tree_,
+        suffixtree::BuildDiskTree(index.symbols_, options.disk_path, disk));
+    stored = index.disk_tree_->NumOccurrences();
+    index.build_info_.skipped_suffixes =
+        index.symbols_.TotalSymbols() - stored;
+    view = index.disk_tree_.get();
+  }
+
+  index.build_info_.index_bytes = view->SizeBytes();
+  index.build_info_.num_nodes = view->NumNodes();
+  index.build_info_.num_occurrences = view->NumOccurrences();
+  index.build_info_.stored_suffixes = stored;
+  const std::uint64_t total = stored + index.build_info_.skipped_suffixes;
+  index.build_info_.compaction_ratio =
+      total == 0 ? 0.0
+                 : static_cast<double>(index.build_info_.skipped_suffixes) /
+                       static_cast<double>(total);
+  if (!options.disk_path.empty()) {
+    TSW_RETURN_IF_ERROR(WriteFingerprint(FingerprintPath(options),
+                                         MakeFingerprint(*db, options)));
+  }
+  return index;
+}
+
+StatusOr<Index> Index::Open(const seqdb::SequenceDatabase* db,
+                            const IndexOptions& options) {
+  if (db == nullptr || db->empty()) {
+    return Status::InvalidArgument("null or empty database");
+  }
+  if (options.disk_path.empty()) {
+    return Status::InvalidArgument("Open requires options.disk_path");
+  }
+  TSW_ASSIGN_OR_RETURN(const IndexFingerprint fp,
+                       ReadFingerprint(FingerprintPath(options)));
+  const IndexFingerprint want = MakeFingerprint(*db, options);
+  if (std::memcmp(&fp, &want, sizeof(fp)) != 0) {
+    return Status::FailedPrecondition(
+        "index fingerprint mismatch: bundle was built with different "
+        "options or a different database");
+  }
+
+  Index index;
+  index.db_ = db;
+  index.options_ = options;
+  TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &index, &index.symbols_,
+                                    &index.alphabet_, &index.symbol_values_,
+                                    &index.build_info_));
+  suffixtree::DiskTreeOptions tree_options;
+  tree_options.pool_pages = options.disk_pool_pages;
+  TSW_ASSIGN_OR_RETURN(
+      index.disk_tree_,
+      suffixtree::DiskSuffixTree::Open(options.disk_path, tree_options));
+
+  const suffixtree::TreeView* view = index.disk_tree_.get();
+  index.build_info_.index_bytes = view->SizeBytes();
+  index.build_info_.num_nodes = view->NumNodes();
+  index.build_info_.num_occurrences = view->NumOccurrences();
+  index.build_info_.stored_suffixes = view->NumOccurrences();
+  index.build_info_.skipped_suffixes =
+      index.symbols_.TotalSymbols() - view->NumOccurrences();
+  const std::uint64_t total = index.symbols_.TotalSymbols();
+  index.build_info_.compaction_ratio =
+      total == 0 ? 0.0
+                 : static_cast<double>(index.build_info_.skipped_suffixes) /
+                       static_cast<double>(total);
+  return index;
+}
+
+namespace {
+
+TreeSearchConfig MakeConfig(const Index& index,
+                            const suffixtree::TreeView* tree,
+                            const seqdb::SequenceDatabase* db,
+                            const categorize::Alphabet* alphabet,
+                            const std::vector<Value>* symbol_values,
+                            const QueryOptions& query_options) {
+  TreeSearchConfig config;
+  config.tree = tree;
+  config.db = db;
+  config.exact = index.options().kind == IndexKind::kSuffixTree;
+  config.sparse = index.options().kind == IndexKind::kSparse;
+  config.alphabet = alphabet;
+  config.symbol_values = config.exact ? symbol_values : nullptr;
+  config.prune = query_options.prune;
+  config.band = query_options.band;
+  return config;
+}
+
+}  // namespace
+
+std::vector<Match> Index::Search(std::span<const Value> query, Value epsilon,
+                                 const QueryOptions& query_options,
+                                 SearchStats* stats) const {
+  const TreeSearchConfig config = MakeConfig(
+      *this,
+      memory_tree_.has_value()
+          ? static_cast<const suffixtree::TreeView*>(&*memory_tree_)
+          : disk_tree_.get(),
+      db_, alphabet_.has_value() ? &*alphabet_ : nullptr, &symbol_values_,
+      query_options);
+  return TreeSearch(config, query, epsilon, stats);
+}
+
+std::vector<Match> Index::SearchKnn(std::span<const Value> query,
+                                    std::size_t k,
+                                    const QueryOptions& query_options,
+                                    SearchStats* stats) const {
+  const TreeSearchConfig config = MakeConfig(
+      *this,
+      memory_tree_.has_value()
+          ? static_cast<const suffixtree::TreeView*>(&*memory_tree_)
+          : disk_tree_.get(),
+      db_, alphabet_.has_value() ? &*alphabet_ : nullptr, &symbol_values_,
+      query_options);
+  return TreeSearchKnn(config, query, k, stats);
+}
+
+}  // namespace tswarp::core

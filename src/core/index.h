@@ -1,0 +1,141 @@
+#ifndef TSWARP_CORE_INDEX_H_
+#define TSWARP_CORE_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "categorize/alphabet.h"
+#include "categorize/categorizer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/match.h"
+#include "core/tree_search.h"
+#include "seqdb/sequence_database.h"
+#include "suffixtree/disk_tree.h"
+#include "suffixtree/suffix_tree.h"
+#include "suffixtree/symbol_database.h"
+
+namespace tswarp::core {
+
+/// Which of the paper's index structures to build.
+enum class IndexKind {
+  kSuffixTree,   // ST:    exact values (dictionary-encoded), SimSearch-ST.
+  kCategorized,  // ST_C:  categorized values, SimSearch-ST_C.
+  kSparse,       // SST_C: categorized + sparse suffixes, SimSearch-SST_C.
+};
+
+const char* IndexKindToString(IndexKind kind);
+
+/// Build-time configuration of an Index.
+struct IndexOptions {
+  IndexKind kind = IndexKind::kSparse;
+
+  /// Categorization method and category count (ignored for kSuffixTree).
+  categorize::Method method = categorize::Method::kMaxEntropy;
+  std::size_t num_categories = 64;
+
+  /// Length-bounded index (paper Section 8, warping-window extension):
+  /// skip suffixes shorter than min_suffix_length and truncate stored
+  /// suffixes to max_suffix_length. 0 disables either bound. Only sound
+  /// when searches use a band consistent with these bounds.
+  Pos min_suffix_length = 0;
+  Pos max_suffix_length = 0;
+
+  /// When set, the tree is built on disk (batched binary merges) at this
+  /// base path and searched through the buffer pool.
+  std::string disk_path;
+  std::size_t disk_batch_sequences = 64;
+  std::size_t disk_pool_pages = 256;
+
+  /// Seed for categorizers that need one (k-means).
+  std::uint64_t seed = 1;
+};
+
+/// Summary statistics of a built index.
+struct IndexBuildInfo {
+  std::uint64_t index_bytes = 0;       // Serialized footprint (Table 1).
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_occurrences = 0;   // Stored suffixes.
+  std::uint64_t stored_suffixes = 0;
+  std::uint64_t skipped_suffixes = 0;  // Non-stored (sparse / length bound).
+  double compaction_ratio = 0.0;       // r = non-stored / total (Section 6).
+  std::size_t num_categories = 0;      // Actual categories after dedup.
+};
+
+/// Per-search options.
+struct QueryOptions {
+  /// Sakoe-Chiba warping band; 0 = unconstrained (the paper's setting).
+  Pos band = 0;
+  /// Theorem-1 pruning (ablation hook).
+  bool prune = true;
+};
+
+/// The public index: builds one of the paper's three structures over a
+/// SequenceDatabase and answers subsequence similarity queries under the
+/// time warping distance with no false dismissals.
+///
+/// The database must outlive the index.
+class Index {
+ public:
+  static StatusOr<Index> Build(const seqdb::SequenceDatabase* db,
+                               const IndexOptions& options);
+
+  /// Reopens a disk-backed index previously Build()-t with
+  /// `options.disk_path` set, against the same database. The categorizer
+  /// state is re-derived deterministically from (db, options); the tree is
+  /// opened from the bundle without rebuilding. A fingerprint written at
+  /// build time guards against mismatched databases or options.
+  static StatusOr<Index> Open(const seqdb::SequenceDatabase* db,
+                              const IndexOptions& options);
+
+  Index(Index&&) = default;
+  Index& operator=(Index&&) = default;
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  /// All subsequences with D_tw(query, subsequence) <= epsilon, sorted by
+  /// (seq, start, len).
+  std::vector<Match> Search(std::span<const Value> query, Value epsilon,
+                            const QueryOptions& query_options = {},
+                            SearchStats* stats = nullptr) const;
+
+  /// The k subsequences nearest to `query` under D_tw, sorted by distance
+  /// (branch-and-bound over the same filter; ties at the k-th distance are
+  /// broken arbitrarily).
+  std::vector<Match> SearchKnn(std::span<const Value> query, std::size_t k,
+                               const QueryOptions& query_options = {},
+                               SearchStats* stats = nullptr) const;
+
+  const IndexBuildInfo& build_info() const { return build_info_; }
+  const IndexOptions& options() const { return options_; }
+
+  /// Non-null iff the index was built with a disk_path; exposes buffer-pool
+  /// statistics for I/O experiments.
+  const suffixtree::DiskSuffixTree* disk_tree() const {
+    return disk_tree_.get();
+  }
+
+ private:
+  Index() = default;
+
+  const seqdb::SequenceDatabase* db_ = nullptr;
+  IndexOptions options_;
+  IndexBuildInfo build_info_;
+
+  // Categorized modes.
+  std::optional<categorize::Alphabet> alphabet_;
+  // Exact mode.
+  std::vector<Value> symbol_values_;
+
+  suffixtree::SymbolDatabase symbols_;
+  // Exactly one of these two holds the tree.
+  std::optional<suffixtree::SuffixTree> memory_tree_;
+  std::unique_ptr<suffixtree::DiskSuffixTree> disk_tree_;
+};
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_INDEX_H_

@@ -1,0 +1,51 @@
+#ifndef TSWARP_CORE_MATCH_H_
+#define TSWARP_CORE_MATCH_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tswarp::core {
+
+/// One answer of a similarity search: the subsequence
+/// S_seq[start : start+len-1] (0-based, inclusive length) whose exact time
+/// warping distance to the query is `distance` (<= the search threshold).
+struct Match {
+  SeqId seq;
+  Pos start;
+  Pos len;
+  Value distance;
+
+  friend bool operator==(const Match& a, const Match& b) {
+    return a.seq == b.seq && a.start == b.start && a.len == b.len;
+  }
+};
+
+/// Canonical ordering for comparing result sets across searchers.
+inline bool MatchLess(const Match& a, const Match& b) {
+  return std::tie(a.seq, a.start, a.len) < std::tie(b.seq, b.start, b.len);
+}
+
+/// Instrumentation counters filled by the searchers; used by the benches to
+/// report the paper's R_d / R_p reduction factors and by tests.
+struct SearchStats {
+  std::uint64_t nodes_visited = 0;      // Tree nodes expanded.
+  std::uint64_t rows_pushed = 0;        // Cumulative-table rows built.
+  // Rows an unshared per-suffix filter would have built for the same
+  // traversal: each pushed row serves every stored suffix below its edge.
+  // R_d (paper Section 4.3) = unshared_rows / rows_pushed.
+  std::uint64_t unshared_rows = 0;
+  std::uint64_t cells_computed = 0;     // Cumulative-table cells built.
+  std::uint64_t branches_pruned = 0;    // Theorem-1 cutoffs taken.
+  std::uint64_t candidates = 0;         // Subsequences entering PostProcess.
+  std::uint64_t endpoint_rejections = 0;  // Candidates killed by the O(1)
+                                          // endpoint lower bound.
+  std::uint64_t exact_dtw_calls = 0;    // Exact distance computations.
+  std::uint64_t answers = 0;            // Final matches.
+};
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_MATCH_H_

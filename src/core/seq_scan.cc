@@ -1,0 +1,39 @@
+#include "core/seq_scan.h"
+
+#include "common/logging.h"
+#include "dtw/warping_table.h"
+
+namespace tswarp::core {
+
+std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
+                           std::span<const Value> query, Value epsilon,
+                           const SeqScanOptions& options, SearchStats* stats) {
+  TSW_CHECK(!query.empty());
+  SearchStats local;
+  std::vector<Match> out;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    const auto n = static_cast<Pos>(s.size());
+    for (Pos p = 0; p < n; ++p) {
+      dtw::WarpingTable table(query, options.band);
+      for (Pos q = p; q < n; ++q) {
+        table.PushRowValue(s[q]);
+        ++local.rows_pushed;
+        const Value dist = table.LastColumn();
+        if (dist <= epsilon) {
+          out.push_back({id, p, q - p + 1, dist});
+          ++local.answers;
+        }
+        if (options.prune && table.RowMin() > epsilon) {
+          ++local.branches_pruned;
+          break;
+        }
+      }
+      local.cells_computed += table.cells_computed();
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tswarp::core

@@ -1,0 +1,34 @@
+#ifndef TSWARP_CORE_SEQ_SCAN_H_
+#define TSWARP_CORE_SEQ_SCAN_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/match.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp::core {
+
+/// Options for the sequential-scan baseline.
+struct SeqScanOptions {
+  /// Apply Theorem 1 to stop extending a suffix once the row minimum
+  /// exceeds epsilon. Disable only for the pruning ablation.
+  bool prune = true;
+
+  /// Sakoe-Chiba band (0 = unconstrained warping, the paper's setting).
+  Pos band = 0;
+};
+
+/// Sequential scanning (paper Section 4.3): builds one cumulative distance
+/// table per suffix of every sequence and reports every subsequence whose
+/// time warping distance from `query` is <= epsilon. O(M L^2 |Q|), the
+/// baseline of Tables 2-3 and Figures 4-5.
+std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
+                           std::span<const Value> query, Value epsilon,
+                           const SeqScanOptions& options = {},
+                           SearchStats* stats = nullptr);
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_SEQ_SCAN_H_

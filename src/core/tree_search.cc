@@ -1,0 +1,248 @@
+#include "core/tree_search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dtw/base.h"
+#include "dtw/dtw.h"
+#include "dtw/warping_table.h"
+
+namespace tswarp::core {
+namespace {
+
+using suffixtree::Children;
+using suffixtree::NodeId;
+using suffixtree::OccurrenceRec;
+
+class Searcher {
+ public:
+  /// Range mode: knn_k == 0 and `epsilon` is the fixed threshold.
+  /// k-NN mode: knn_k > 0; epsilon starts at +infinity and shrinks to the
+  /// current k-th best exact distance (branch-and-bound).
+  Searcher(const TreeSearchConfig& config, std::span<const Value> query,
+           Value epsilon, std::size_t knn_k = 0)
+      : config_(config),
+        query_(query),
+        epsilon_(knn_k > 0 ? kInfinity : epsilon),
+        knn_k_(knn_k),
+        table_(query, config.band) {
+    TSW_CHECK(config_.tree != nullptr);
+    TSW_CHECK(!query.empty());
+    TSW_CHECK(!(config_.sparse && config_.band != 0))
+        << "banded search is unsupported on sparse indexes: the D_tw-lb2 "
+           "shift argument does not hold once the band moves with the "
+           "dropped leading symbols (build a dense ST_C index instead)";
+    if (config_.exact) {
+      TSW_CHECK(config_.symbol_values != nullptr)
+          << "exact mode needs the symbol dictionary";
+      TSW_CHECK(!config_.sparse) << "sparse trees require lower-bound mode";
+    } else {
+      TSW_CHECK(config_.alphabet != nullptr)
+          << "lower-bound mode needs the category alphabet";
+      TSW_CHECK(config_.db != nullptr)
+          << "lower-bound mode needs the raw sequences for post-processing";
+    }
+  }
+
+  std::vector<Match> Run(SearchStats* stats) {
+    Visit(config_.tree->Root(), /*first_lb=*/0.0);
+    if (knn_k_ > 0) {
+      std::sort(answers_.begin(), answers_.end(),
+                [](const Match& a, const Match& b) {
+                  return a.distance < b.distance;
+                });
+    } else {
+      std::sort(answers_.begin(), answers_.end(), MatchLess);
+    }
+    stats_.answers = answers_.size();
+    stats_.cells_computed = table_.cells_computed();
+    if (stats != nullptr) *stats = stats_;
+    return answers_;
+  }
+
+ private:
+  /// DFS over the tree. `first_lb` is D_base-lb(Q[1], CS[1]) for the path's
+  /// leading symbol (the D_tw-lb2 per-skip discount); it is fixed once the
+  /// first edge symbol below the root is pushed.
+  void Visit(NodeId node, Value first_lb) {
+    ++stats_.nodes_visited;
+    Children children;
+    config_.tree->GetChildren(node, &children);
+    const bool at_root = table_.Empty();
+    for (const Children::Edge& edge : children.edges) {
+      const std::span<const Symbol> label = children.Label(edge);
+      Value branch_first_lb = first_lb;
+      if (at_root) branch_first_lb = FirstSymbolLb(label.front());
+      // The sparse pruning discount: a non-stored suffix under this branch
+      // may skip up to MaxRun-1 leading symbols, each worth at most
+      // first_lb of distance (Definition 4).
+      Value discount = 0.0;
+      if (config_.sparse) {
+        const Pos max_run = config_.tree->MaxRun(edge.child);
+        if (max_run > 1) {
+          discount = static_cast<Value>(max_run - 1) * branch_first_lb;
+        }
+      }
+
+      std::size_t pushed = 0;
+      bool descend = true;
+      // Occurrences below this edge are the same at every depth along it;
+      // collect them at most once per edge.
+      occ_buf_.clear();
+      bool occ_collected = false;
+      for (const Symbol sym : label) {
+        PushRow(sym);
+        ++pushed;
+        ++stats_.rows_pushed;
+        stats_.unshared_rows += config_.tree->SubtreeOccCount(edge.child);
+        const Value dist = table_.LastColumn();
+        if (dist <= epsilon_ ||
+            (config_.sparse && dist - discount <= epsilon_)) {
+          if (!occ_collected) {
+            config_.tree->CollectSubtreeOccurrences(edge.child, &occ_buf_);
+            occ_collected = true;
+          }
+          EmitCandidates(dist);
+        }
+        if (config_.prune && table_.RowMin() - discount > epsilon_) {
+          // Theorem 1: no extension can recover. Skip the rest of this
+          // edge and the whole subtree.
+          ++stats_.branches_pruned;
+          descend = false;
+          break;
+        }
+      }
+      if (descend) Visit(edge.child, branch_first_lb);
+      table_.PopRows(pushed);
+    }
+  }
+
+  Value FirstSymbolLb(Symbol s) const {
+    if (config_.exact) return 0.0;
+    const dtw::Interval iv = config_.alphabet->ToInterval(s);
+    return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
+  }
+
+  void PushRow(Symbol sym) {
+    if (config_.exact) {
+      table_.PushRowValue((*config_.symbol_values)[static_cast<size_t>(sym)]);
+    } else {
+      const dtw::Interval iv = config_.alphabet->ToInterval(sym);
+      table_.PushRowInterval(iv.lb, iv.ub);
+    }
+  }
+
+  /// A prefix of depth NumRows() matched with filter distance `dist`:
+  /// expand the pre-collected subtree occurrences (occ_buf_) into answers
+  /// (exact mode) or post-processed candidates (lower-bound modes).
+  void EmitCandidates(Value dist) {
+    const auto depth = static_cast<Pos>(table_.NumRows());
+    for (const OccurrenceRec& occ : occ_buf_) {
+      if (config_.exact) {
+        if (dist <= epsilon_) {
+          ++stats_.candidates;
+          Report({occ.seq, occ.pos, depth, dist});
+        }
+        continue;
+      }
+      // Stored suffix: subsequence S[occ.pos : occ.pos+depth-1].
+      if (dist <= epsilon_) PostProcess(occ.seq, occ.pos, depth);
+      if (!config_.sparse) continue;
+      // Non-stored suffixes inside the leading run: skip delta symbols.
+      const Value first_lb = FirstLbForOccurrence(occ);
+      const Pos max_delta = std::min<Pos>(occ.run - 1, depth - 1);
+      for (Pos delta = 1; delta <= max_delta; ++delta) {
+        const Value lb2 =
+            dtw::LowerBound2(dist, delta, first_lb);
+        if (lb2 <= epsilon_) {
+          PostProcess(occ.seq, occ.pos + delta, depth - delta);
+        }
+      }
+    }
+  }
+
+  Value FirstLbForOccurrence(const OccurrenceRec& occ) const {
+    // The leading symbol of the stored suffix is the path's first symbol;
+    // recompute from the raw value's category for robustness.
+    if (config_.alphabet == nullptr) return 0.0;
+    const Value v = config_.db->sequence(occ.seq)[occ.pos];
+    const dtw::Interval iv =
+        config_.alphabet->ToInterval(config_.alphabet->ToSymbol(v));
+    return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
+  }
+
+  /// Exact verification of one candidate subsequence.
+  void PostProcess(SeqId seq, Pos start, Pos len) {
+    ++stats_.candidates;
+    const std::span<const Value> sub = config_.db->Subsequence(seq, start,
+                                                               len);
+    // O(1) endpoint screen before the O(|Q| len) exact computation.
+    if (dtw::EndpointLowerBound(query_, sub) > epsilon_) {
+      ++stats_.endpoint_rejections;
+      return;
+    }
+    ++stats_.exact_dtw_calls;
+    Value d = 0.0;
+    if (config_.band != 0) {
+      d = dtw::DtwDistanceBanded(query_, sub, config_.band);
+      if (d > epsilon_) return;
+    } else if (!dtw::DtwWithinThreshold(query_, sub, epsilon_, &d)) {
+      return;
+    }
+    Report({seq, start, len, d});
+  }
+
+  /// Records an exact match. In k-NN mode maintains a max-heap of the k
+  /// best and shrinks the working threshold to the k-th best distance.
+  void Report(const Match& m) {
+    if (knn_k_ == 0) {
+      answers_.push_back(m);
+      return;
+    }
+    auto worse = [](const Match& a, const Match& b) {
+      return a.distance < b.distance;  // Max-heap on distance.
+    };
+    if (answers_.size() < knn_k_) {
+      answers_.push_back(m);
+      std::push_heap(answers_.begin(), answers_.end(), worse);
+    } else if (m.distance < answers_.front().distance) {
+      std::pop_heap(answers_.begin(), answers_.end(), worse);
+      answers_.back() = m;
+      std::push_heap(answers_.begin(), answers_.end(), worse);
+    }
+    if (answers_.size() == knn_k_) {
+      epsilon_ = answers_.front().distance;
+    }
+  }
+
+  const TreeSearchConfig& config_;
+  std::span<const Value> query_;
+  Value epsilon_;
+  std::size_t knn_k_ = 0;
+  dtw::WarpingTable table_;
+  std::vector<OccurrenceRec> occ_buf_;
+  std::vector<Match> answers_;
+  SearchStats stats_;
+};
+
+}  // namespace
+
+std::vector<Match> TreeSearch(const TreeSearchConfig& config,
+                              std::span<const Value> query, Value epsilon,
+                              SearchStats* stats) {
+  Searcher searcher(config, query, epsilon);
+  return searcher.Run(stats);
+}
+
+std::vector<Match> TreeSearchKnn(const TreeSearchConfig& config,
+                                 std::span<const Value> query, std::size_t k,
+                                 SearchStats* stats) {
+  if (k == 0) {
+    if (stats != nullptr) *stats = SearchStats{};
+    return {};
+  }
+  Searcher searcher(config, query, /*epsilon=*/0.0, k);
+  return searcher.Run(stats);
+}
+
+}  // namespace tswarp::core

@@ -1,0 +1,70 @@
+#ifndef TSWARP_CORE_TREE_SEARCH_H_
+#define TSWARP_CORE_TREE_SEARCH_H_
+
+#include <span>
+#include <vector>
+
+#include "categorize/alphabet.h"
+#include "common/types.h"
+#include "core/match.h"
+#include "seqdb/sequence_database.h"
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::core {
+
+/// Configuration of one suffix-tree similarity search. Three paper modes:
+///
+///   SimSearch-ST     exact = true,  sparse = false   (dictionary tree)
+///   SimSearch-ST_C   exact = false, sparse = false   (categorized tree)
+///   SimSearch-SST_C  exact = false, sparse = true    (sparse categorized)
+///
+/// In exact mode the cumulative table is built from `symbol_values` (the
+/// dictionary decode) and LastColumn() is already the exact D_tw, so
+/// answers need no post-processing. In lower-bound mode rows use the
+/// category intervals of `alphabet` (D_tw-lb, Definition 3) and candidates
+/// are verified against `db` with exact DTW (PostProcess). Sparse mode
+/// additionally recovers non-stored suffixes through D_tw-lb2
+/// (Definition 4) and discounts the Theorem-1 pruning bound by
+/// (MaxRun-1) * D_base-lb(Q[1], first path symbol) so they are never
+/// falsely dismissed.
+struct TreeSearchConfig {
+  const suffixtree::TreeView* tree = nullptr;
+
+  /// Raw sequences, required in lower-bound modes for post-processing.
+  const seqdb::SequenceDatabase* db = nullptr;
+
+  /// Category intervals; required when exact == false.
+  const categorize::Alphabet* alphabet = nullptr;
+
+  /// Symbol -> value decode; required when exact == true.
+  const std::vector<Value>* symbol_values = nullptr;
+
+  bool exact = false;
+  bool sparse = false;
+
+  /// Theorem-1 branch pruning; disable only for the R_p ablation.
+  bool prune = true;
+
+  /// Sakoe-Chiba band (0 = unconstrained, the paper's setting).
+  Pos band = 0;
+};
+
+/// Runs the similarity search: every subsequence of the indexed database
+/// whose exact (or banded) time warping distance from `query` is
+/// <= epsilon. No false dismissals; results are exact matches only.
+std::vector<Match> TreeSearch(const TreeSearchConfig& config,
+                              std::span<const Value> query, Value epsilon,
+                              SearchStats* stats = nullptr);
+
+/// k-nearest-subsequence search (branch-and-bound extension): returns the
+/// k subsequences with the smallest time warping distance from `query`,
+/// sorted by distance. The traversal runs with a dynamic threshold equal
+/// to the current k-th best distance, so the lower bounds prune exactly as
+/// in the range search. Ties at the k-th distance are broken arbitrarily.
+std::vector<Match> TreeSearchKnn(const TreeSearchConfig& config,
+                                 std::span<const Value> query, std::size_t k,
+                                 SearchStats* stats = nullptr);
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_TREE_SEARCH_H_

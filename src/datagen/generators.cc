@@ -1,0 +1,145 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tswarp::datagen {
+
+seqdb::SequenceDatabase GenerateRandomWalks(const RandomWalkOptions& options) {
+  TSW_CHECK(options.num_sequences > 0 && options.avg_length > 1);
+  Rng rng(options.seed);
+  seqdb::SequenceDatabase db;
+  for (std::size_t i = 0; i < options.num_sequences; ++i) {
+    const auto jitter = static_cast<std::int64_t>(options.length_jitter);
+    const std::size_t len = static_cast<std::size_t>(std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(options.avg_length) +
+               (jitter > 0 ? rng.UniformInt(-jitter, jitter) : 0)));
+    seqdb::Sequence s;
+    s.reserve(len);
+    Value v = rng.Uniform(options.start_min, options.start_max);
+    s.push_back(v);
+    for (std::size_t p = 1; p < len; ++p) {
+      v += rng.Gaussian(0.0, options.step_stddev);
+      s.push_back(v);
+    }
+    db.Add(std::move(s));
+  }
+  return db;
+}
+
+seqdb::SequenceDatabase GenerateStocks(const StockOptions& options) {
+  TSW_CHECK(options.num_sequences > 0);
+  Rng rng(options.seed);
+  seqdb::SequenceDatabase db;
+  for (std::size_t i = 0; i < options.num_sequences; ++i) {
+    const std::size_t len = static_cast<std::size_t>(std::max<double>(
+        static_cast<double>(options.min_length),
+        std::round(rng.Gaussian(static_cast<double>(options.avg_length),
+                                static_cast<double>(options.length_stddev)))));
+    seqdb::Sequence s;
+    s.reserve(len);
+    Value price = rng.LogNormal(std::log(options.median_price),
+                                options.price_sigma);
+    price = std::max(price, options.min_price);
+    s.push_back(price);
+    for (std::size_t p = 1; p < len; ++p) {
+      price += rng.Gaussian(0.0, options.daily_volatility * price);
+      price = std::max(price, options.min_price);
+      s.push_back(price);
+    }
+    db.Add(std::move(s));
+  }
+  return db;
+}
+
+seqdb::SequenceDatabase GenerateEcg(const EcgOptions& options) {
+  TSW_CHECK(options.num_sequences > 0 && options.length > 4);
+  Rng rng(options.seed);
+  seqdb::SequenceDatabase db;
+  for (std::size_t i = 0; i < options.num_sequences; ++i) {
+    seqdb::Sequence s(options.length, options.baseline);
+    // Slow baseline wander.
+    const Value wander_phase = rng.Uniform(0.0, 6.28318);
+    const Value wander_amp = rng.Uniform(0.0, 2.0);
+    for (std::size_t p = 0; p < options.length; ++p) {
+      s[p] += wander_amp *
+              std::sin(wander_phase + 0.01 * static_cast<double>(p));
+    }
+    // Beats: narrow positive pulse with a small negative overshoot.
+    double beat_at = rng.Uniform(0.0, options.beat_period);
+    while (beat_at < static_cast<double>(options.length)) {
+      const Value amp =
+          options.pulse_amplitude * (0.9 + 0.2 * rng.Uniform(0.0, 1.0));
+      for (std::size_t p = 0; p < options.length; ++p) {
+        const double t = static_cast<double>(p) - beat_at;
+        s[p] += amp * std::exp(-t * t / 2.0);         // QRS spike.
+        s[p] -= 0.2 * amp * std::exp(-(t - 4) * (t - 4) / 18.0);  // T dip.
+      }
+      beat_at += options.beat_period + rng.Gaussian(0.0, options.period_jitter);
+    }
+    // Measurement noise.
+    for (std::size_t p = 0; p < options.length; ++p) {
+      s[p] += rng.Gaussian(0.0, options.noise_stddev);
+    }
+    db.Add(std::move(s));
+  }
+  return db;
+}
+
+std::vector<seqdb::Sequence> ExtractQueries(
+    const seqdb::SequenceDatabase& db, const QueryWorkloadOptions& options) {
+  TSW_CHECK(!db.empty());
+  Rng rng(options.seed);
+
+  // Stratify the sequences by mean value (the paper stratifies by average
+  // price: <$30 / $30-60 / >$60).
+  std::vector<SeqId> low, mid, high;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const Value mean = db.MeanValue(id);
+    if (mean < options.low_cut) {
+      low.push_back(id);
+    } else if (mean <= options.high_cut) {
+      mid.push_back(id);
+    } else {
+      high.push_back(id);
+    }
+  }
+  std::vector<SeqId> any;
+  for (SeqId id = 0; id < db.size(); ++id) any.push_back(id);
+
+  auto pick_stratum = [&](double u) -> const std::vector<SeqId>& {
+    const std::vector<SeqId>* chosen;
+    if (u < options.frac_low) {
+      chosen = &low;
+    } else if (u < options.frac_low + options.frac_mid) {
+      chosen = &mid;
+    } else {
+      chosen = &high;
+    }
+    return chosen->empty() ? any : *chosen;
+  };
+
+  std::vector<seqdb::Sequence> queries;
+  queries.reserve(options.num_queries);
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    const std::vector<SeqId>& stratum = pick_stratum(rng.Uniform(0.0, 1.0));
+    const SeqId id = stratum[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(stratum.size()) - 1))];
+    const seqdb::Sequence& s = db.sequence(id);
+    const auto jitter = static_cast<std::int64_t>(options.length_jitter);
+    std::size_t len = static_cast<std::size_t>(std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(options.avg_length) +
+               (jitter > 0 ? rng.UniformInt(-jitter, jitter) : 0)));
+    len = std::min(len, s.size());
+    const std::size_t start = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(s.size() - len)));
+    queries.emplace_back(s.begin() + static_cast<std::ptrdiff_t>(start),
+                         s.begin() + static_cast<std::ptrdiff_t>(start + len));
+  }
+  return queries;
+}
+
+}  // namespace tswarp::datagen

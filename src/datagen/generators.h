@@ -1,0 +1,90 @@
+#ifndef TSWARP_DATAGEN_GENERATORS_H_
+#define TSWARP_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp::datagen {
+
+/// Artificial sequences exactly as in the paper's Section 7:
+/// S_i[p] = S_i[p-1] + Z_p with iid Z_p (here N(0, step_stddev)).
+struct RandomWalkOptions {
+  std::size_t num_sequences = 200;
+  std::size_t avg_length = 200;
+  /// Lengths are uniform in [avg_length - jitter, avg_length + jitter].
+  std::size_t length_jitter = 0;
+  Value start_min = 20.0;
+  Value start_max = 80.0;
+  Value step_stddev = 1.0;
+  std::uint64_t seed = 42;
+};
+
+seqdb::SequenceDatabase GenerateRandomWalks(const RandomWalkOptions& options);
+
+/// Synthetic stand-in for the paper's S&P 500 daily-closing-price set
+/// (545 sequences, average length 232). The original crawl is unavailable;
+/// this generator matches its relevant shape: log-normally distributed
+/// base prices (so the paper's <$30 / $30-60 / >$60 strata are all
+/// populated), geometric-ish random-walk dynamics, and the same length
+/// distribution.
+struct StockOptions {
+  std::size_t num_sequences = 545;
+  std::size_t avg_length = 232;
+  std::size_t length_stddev = 40;
+  std::size_t min_length = 40;
+  /// Base price ~ LogNormal(log(median_price), price_sigma).
+  Value median_price = 42.0;
+  Value price_sigma = 0.75;
+  /// Daily move stddev as a fraction of the current price. Together with
+  /// min_price this is calibrated so answer-set sizes at epsilon 5..50
+  /// span the paper's regime (tens per query at 5, hundreds of thousands
+  /// in total at 50) instead of saturating: low-priced stocks move in
+  /// tiny absolute steps and would otherwise match everything.
+  Value daily_volatility = 0.045;
+  Value min_price = 8.0;
+  std::uint64_t seed = 7;
+};
+
+seqdb::SequenceDatabase GenerateStocks(const StockOptions& options);
+
+/// Periodic heartbeat-like signal: baseline wander + per-beat QRS-ish
+/// pulses with period jitter and amplitude noise. Used by the ECG example
+/// and the shape-robustness tests (time warping should match beats of
+/// different instantaneous heart rates).
+struct EcgOptions {
+  std::size_t num_sequences = 50;
+  std::size_t length = 400;
+  Value beat_period = 36.0;     // Samples per beat.
+  Value period_jitter = 4.0;    // Per-beat period noise.
+  Value pulse_amplitude = 25.0;
+  Value noise_stddev = 0.5;
+  Value baseline = 60.0;
+  std::uint64_t seed = 11;
+};
+
+seqdb::SequenceDatabase GenerateEcg(const EcgOptions& options);
+
+/// Query workload extracted from a database the way the paper's Section 7
+/// describes: 20% of queries from sequences whose mean value is below
+/// `low_cut`, 50% from [low_cut, high_cut], 30% above; average query
+/// length `avg_length` (paper: 20).
+struct QueryWorkloadOptions {
+  std::size_t num_queries = 50;
+  std::size_t avg_length = 20;
+  std::size_t length_jitter = 4;  // Uniform in avg +/- jitter.
+  Value low_cut = 30.0;
+  Value high_cut = 60.0;
+  double frac_low = 0.2;
+  double frac_mid = 0.5;  // Remainder goes to the high stratum.
+  std::uint64_t seed = 13;
+};
+
+std::vector<seqdb::Sequence> ExtractQueries(
+    const seqdb::SequenceDatabase& db, const QueryWorkloadOptions& options);
+
+}  // namespace tswarp::datagen
+
+#endif  // TSWARP_DATAGEN_GENERATORS_H_

@@ -1,0 +1,66 @@
+#include "dtw/alignment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dtw/base.h"
+
+namespace tswarp::dtw {
+
+Alignment DtwAlign(std::span<const Value> a, std::span<const Value> b) {
+  TSW_CHECK(!a.empty() && !b.empty());
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // Full gamma table, row-major over b (rows) x a (columns).
+  std::vector<Value> g(n * m);
+  auto at = [&](std::size_t x, std::size_t y) -> Value& {
+    return g[y * n + x];
+  };
+  for (std::size_t y = 0; y < m; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const Value base = BaseDistance(a[x], b[y]);
+      Value best;
+      if (x == 0 && y == 0) {
+        best = 0.0;
+      } else if (x == 0) {
+        best = at(0, y - 1);
+      } else if (y == 0) {
+        best = at(x - 1, 0);
+      } else {
+        best = std::min({at(x - 1, y - 1), at(x - 1, y), at(x, y - 1)});
+      }
+      at(x, y) = base + best;
+    }
+  }
+
+  Alignment result;
+  result.distance = at(n - 1, m - 1);
+  // Backtrack, preferring the diagonal on ties.
+  std::size_t x = n - 1;
+  std::size_t y = m - 1;
+  result.path.push_back({static_cast<Pos>(x), static_cast<Pos>(y)});
+  while (x > 0 || y > 0) {
+    if (x == 0) {
+      --y;
+    } else if (y == 0) {
+      --x;
+    } else {
+      const Value diag = at(x - 1, y - 1);
+      const Value left = at(x - 1, y);
+      const Value down = at(x, y - 1);
+      if (diag <= left && diag <= down) {
+        --x;
+        --y;
+      } else if (left <= down) {
+        --x;
+      } else {
+        --y;
+      }
+    }
+    result.path.push_back({static_cast<Pos>(x), static_cast<Pos>(y)});
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+}  // namespace tswarp::dtw

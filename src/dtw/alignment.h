@@ -1,0 +1,39 @@
+#ifndef TSWARP_DTW_ALIGNMENT_H_
+#define TSWARP_DTW_ALIGNMENT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tswarp::dtw {
+
+/// One matched element pair of a warping path: a[a_index] aligned with
+/// b[b_index] (0-based).
+struct AlignmentStep {
+  Pos a_index;
+  Pos b_index;
+
+  friend bool operator==(const AlignmentStep&, const AlignmentStep&) =
+      default;
+};
+
+/// A full warping alignment: the minimum cumulative distance and the
+/// element mapping that achieves it (paper Section 3: "the matching of
+/// elements can be traced backward in the table by choosing the previous
+/// cells with the lowest cumulative distance", Figure 1b).
+struct Alignment {
+  Value distance = 0.0;
+  /// Path from (0, 0) to (|a|-1, |b|-1); each step advances a_index,
+  /// b_index, or both by one (monotone, continuous).
+  std::vector<AlignmentStep> path;
+};
+
+/// Computes D_tw(a, b) together with an optimal warping path. O(|a||b|)
+/// time and space (the full table is retained for the traceback). Ties
+/// prefer the diagonal predecessor, producing the shortest optimal path.
+Alignment DtwAlign(std::span<const Value> a, std::span<const Value> b);
+
+}  // namespace tswarp::dtw
+
+#endif  // TSWARP_DTW_ALIGNMENT_H_

@@ -1,0 +1,59 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "dtw/base.h"
+#include "dtw/warping_table.h"
+
+namespace tswarp::dtw {
+
+Value DtwDistance(std::span<const Value> a, std::span<const Value> b) {
+  TSW_CHECK(!a.empty() && !b.empty());
+  WarpingTable table(a);
+  for (Value v : b) table.PushRowValue(v);
+  return table.LastColumn();
+}
+
+bool DtwWithinThreshold(std::span<const Value> a, std::span<const Value> b,
+                        Value epsilon, Value* distance) {
+  TSW_CHECK(!a.empty() && !b.empty());
+  WarpingTable table(a);
+  for (Value v : b) {
+    table.PushRowValue(v);
+    if (table.RowMin() > epsilon) return false;  // Theorem 1.
+  }
+  const Value d = table.LastColumn();
+  if (d > epsilon) return false;
+  *distance = d;
+  return true;
+}
+
+Value DtwDistanceBanded(std::span<const Value> a, std::span<const Value> b,
+                        Pos band) {
+  TSW_CHECK(!a.empty() && !b.empty());
+  const std::size_t la = a.size();
+  const std::size_t lb = b.size();
+  const std::size_t diff = la > lb ? la - lb : lb - la;
+  if (diff > band && band != 0) return kInfinity;
+  if (band == 0 && la != lb) return kInfinity;
+  WarpingTable table(a, band == 0 ? 1 : band);
+  if (band == 0) {
+    // Degenerate band: diagonal-only alignment.
+    Value total = 0.0;
+    for (std::size_t i = 0; i < la; ++i) total += BaseDistance(a[i], b[i]);
+    return total;
+  }
+  for (Value v : b) table.PushRowValue(v);
+  return table.LastColumn();
+}
+
+Value DtwLowerBound(std::span<const Value> q, std::span<const Interval> cs) {
+  TSW_CHECK(!q.empty() && !cs.empty());
+  WarpingTable table(q);
+  for (const Interval& iv : cs) table.PushRowInterval(iv.lb, iv.ub);
+  return table.LastColumn();
+}
+
+}  // namespace tswarp::dtw

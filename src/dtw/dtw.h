@@ -1,0 +1,42 @@
+#ifndef TSWARP_DTW_DTW_H_
+#define TSWARP_DTW_DTW_H_
+
+#include <span>
+
+#include "common/types.h"
+
+namespace tswarp::dtw {
+
+/// A category value-interval. Mirrors categorize::Category without creating
+/// a dependency from the DTW kernel onto the categorization module.
+struct Interval {
+  Value lb;
+  Value ub;
+};
+
+/// Exact time-warping distance D_tw(a, b) (paper Definition 1), computed by
+/// the O(|a||b|) dynamic program of Definition 2. Both spans must be
+/// non-empty.
+Value DtwDistance(std::span<const Value> a, std::span<const Value> b);
+
+/// Thresholded D_tw: returns true and sets *distance iff
+/// D_tw(a, b) <= epsilon. Abandons early via Theorem 1 — as soon as every
+/// column of the current row exceeds epsilon the result cannot recover.
+/// *distance is unspecified when the function returns false.
+bool DtwWithinThreshold(std::span<const Value> a, std::span<const Value> b,
+                        Value epsilon, Value* distance);
+
+/// Sakoe-Chiba banded D_tw: warping path restricted to |x - y| <= band.
+/// Returns kInfinity when no legal path exists (||a| - |b|| > band).
+/// band == 0 degenerates to the Euclidean-style diagonal alignment of two
+/// equal-length sequences.
+Value DtwDistanceBanded(std::span<const Value> a, std::span<const Value> b,
+                        Pos band);
+
+/// Lower-bound distance D_tw-lb(q, cs) (paper Definition 3) between a
+/// numeric query and a categorized sequence given as intervals.
+Value DtwLowerBound(std::span<const Value> q, std::span<const Interval> cs);
+
+}  // namespace tswarp::dtw
+
+#endif  // TSWARP_DTW_DTW_H_

@@ -1,0 +1,179 @@
+#ifndef TSWARP_DTW_WARPING_TABLE_H_
+#define TSWARP_DTW_WARPING_TABLE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "dtw/base.h"
+
+namespace tswarp::dtw {
+
+/// Incremental cumulative time-warping distance table (paper Definition 2).
+///
+/// The query Q is fixed along the columns (x axis); data elements are
+/// appended as rows (y axis). After pushing row y:
+///   * LastColumn() is D_tw(Q, data[1:y])  — the distance between Q and the
+///     data prefix of length y (paper Section 3: "by reading the last column
+///     of each row ... we get the distance between S_i and any prefix");
+///   * RowMin() is the minimum over all columns of row y. By Theorem 1, if
+///     RowMin() > epsilon, no extension of the data prefix can bring the
+///     distance back to <= epsilon, so the branch can be pruned.
+///
+/// Rows can be popped, which makes the table usable as a DFS stack over a
+/// suffix tree: all suffixes sharing a prefix share the prefix's rows
+/// (the R_d table-sharing factor of Section 4.3).
+///
+/// Rows may be pushed either from exact numeric values (PushRowValue, the
+/// D_tw recurrence) or from category intervals (PushRowInterval, the
+/// D_tw-lb recurrence of Definition 3). Mixing both in one table is legal:
+/// each row's base distance is independent of the others'.
+///
+/// An optional Sakoe-Chiba band constrains |x - y| <= band; cells outside
+/// the band are +infinity. Used by the length-bounded index extension.
+class WarpingTable {
+ public:
+  /// Creates an empty table for query `query`. The span must stay valid for
+  /// the lifetime of the table. `band = 0` means unconstrained warping.
+  explicit WarpingTable(std::span<const Value> query, Pos band = 0)
+      : query_(query), query_len_(query.size()), band_(band) {
+    TSW_CHECK(!query.empty()) << "query must be non-null (paper Def. 1)";
+    // Reserve a plausible DFS depth to avoid rehash churn.
+    cells_.reserve((query_len_ + 1) * 64);
+  }
+
+  /// Length-only constructor for callers that push rows with PushRowCustom
+  /// (e.g. the multivariate extension, where elements are vectors and the
+  /// base distances cannot be derived from a Value span). PushRowValue /
+  /// PushRowInterval are illegal on such a table.
+  explicit WarpingTable(std::size_t query_length, Pos band)
+      : query_len_(query_length), band_(band) {
+    TSW_CHECK(query_length > 0);
+    cells_.reserve((query_len_ + 1) * 64);
+  }
+
+  WarpingTable(const WarpingTable&) = delete;
+  WarpingTable& operator=(const WarpingTable&) = delete;
+
+  /// Appends the exact-D_tw row for data element `v`.
+  void PushRowValue(Value v) {
+    TSW_DCHECK(!query_.empty());
+    PushRow([this, v](std::size_t x) {
+      return BaseDistance(query_[x], v);
+    });
+  }
+
+  /// Appends the D_tw-lb row for a category interval [lb, ub].
+  void PushRowInterval(Value lb, Value ub) {
+    TSW_DCHECK(!query_.empty());
+    PushRow([this, lb, ub](std::size_t x) {
+      return BaseDistanceLb(query_[x], lb, ub);
+    });
+  }
+
+  /// Appends a row with caller-supplied base distances: `base(x)` must
+  /// return D_base(Q[x+1], element) for query index x (0-based).
+  template <typename BaseFn>
+  void PushRowCustom(BaseFn base) {
+    PushRow(base);
+  }
+
+  /// Removes the most recently pushed row.
+  void PopRow() {
+    TSW_DCHECK(num_rows_ > 0);
+    cells_.resize(cells_.size() - Width());
+    --num_rows_;
+  }
+
+  /// Removes the `n` most recently pushed rows.
+  void PopRows(std::size_t n) {
+    TSW_DCHECK(n <= num_rows_);
+    cells_.resize(cells_.size() - n * Width());
+    num_rows_ -= n;
+  }
+
+  /// Number of data rows currently in the table.
+  std::size_t NumRows() const { return num_rows_; }
+
+  bool Empty() const { return num_rows_ == 0; }
+
+  /// D_tw(Q, data-prefix) after the last pushed row. Requires NumRows() > 0.
+  Value LastColumn() const {
+    TSW_DCHECK(num_rows_ > 0);
+    return cells_.back();
+  }
+
+  /// Minimum column value of the last pushed row (Theorem 1 pruning test).
+  /// Requires NumRows() > 0.
+  Value RowMin() const {
+    TSW_DCHECK(num_rows_ > 0);
+    const Value* row = RowPtr(num_rows_ - 1);
+    Value m = kInfinity;
+    for (std::size_t x = 1; x < Width(); ++x) m = std::min(m, row[x]);
+    return m;
+  }
+
+  /// Number of table cells computed since construction (cost accounting for
+  /// the R_d analysis and the bench counters).
+  std::uint64_t cells_computed() const { return cells_computed_; }
+
+  std::span<const Value> query() const { return query_; }
+  std::size_t query_length() const { return query_len_; }
+  Pos band() const { return band_; }
+
+ private:
+  // Column 0 is a sentinel: 0 in the virtual row -1 position handling, +inf
+  // elsewhere, which realizes the standard DTW boundary conditions.
+  std::size_t Width() const { return query_len_ + 1; }
+
+  const Value* RowPtr(std::size_t row) const {
+    return cells_.data() + row * Width();
+  }
+  Value* MutableRowPtr(std::size_t row) {
+    return cells_.data() + row * Width();
+  }
+
+  template <typename BaseFn>
+  void PushRow(BaseFn base) {
+    const std::size_t w = Width();
+    cells_.resize(cells_.size() + w);
+    Value* row = MutableRowPtr(num_rows_);
+    const Value* prev = num_rows_ > 0 ? RowPtr(num_rows_ - 1) : nullptr;
+    // Sentinel column: enables diagonal entry (0,0)->(1,1) only on row 0.
+    row[0] = kInfinity;
+    const std::size_t y = num_rows_;  // 0-based data index of this row.
+    for (std::size_t x = 1; x < w; ++x) {
+      if (band_ != 0) {
+        const std::size_t xi = x - 1;  // 0-based query index.
+        const std::size_t diff = xi > y ? xi - y : y - xi;
+        if (diff > band_) {
+          row[x] = kInfinity;
+          continue;
+        }
+      }
+      Value best;
+      if (prev == nullptr) {
+        // Row 0: gamma(x, 1) = base + gamma(x-1, 1); entry cell uses 0.
+        best = (x == 1) ? 0.0 : row[x - 1];
+      } else {
+        best = std::min(row[x - 1], std::min(prev[x], prev[x - 1]));
+      }
+      row[x] = base(x - 1) + best;
+      ++cells_computed_;
+    }
+    ++num_rows_;
+  }
+
+  std::span<const Value> query_;
+  std::size_t query_len_;
+  Pos band_;
+  std::vector<Value> cells_;
+  std::size_t num_rows_ = 0;
+  std::uint64_t cells_computed_ = 0;
+};
+
+}  // namespace tswarp::dtw
+
+#endif  // TSWARP_DTW_WARPING_TABLE_H_

@@ -1,0 +1,91 @@
+#include "multivariate/grid_alphabet.h"
+
+#include "common/logging.h"
+#include "dtw/base.h"
+
+namespace tswarp::mv {
+
+StatusOr<GridAlphabet> GridAlphabet::Build(const MultiSequenceDatabase& db,
+                                           categorize::Method method,
+                                           std::size_t categories_per_dim,
+                                           std::uint64_t seed) {
+  if (db.size() == 0) return Status::InvalidArgument("empty database");
+  GridAlphabet grid;
+  const std::size_t dim = db.dim();
+  for (std::size_t d = 0; d < dim; ++d) {
+    std::vector<Value> values;
+    values.reserve(db.TotalElements());
+    for (SeqId id = 0; id < db.size(); ++id) {
+      const Pos len = db.Length(id);
+      for (Pos p = 0; p < len; ++p) values.push_back(db.Element(id, p)[d]);
+    }
+    TSW_ASSIGN_OR_RETURN(
+        categorize::Alphabet alphabet,
+        categorize::Build(method, values, categories_per_dim, seed + d));
+    grid.per_dim_.push_back(std::move(alphabet));
+  }
+  grid.strides_.resize(dim);
+  std::size_t stride = 1;
+  for (std::size_t d = dim; d-- > 0;) {
+    grid.strides_[d] = stride;
+    stride *= grid.per_dim_[d].size();
+  }
+  grid.num_cells_ = stride;
+  TSW_CHECK(grid.num_cells_ <
+            static_cast<std::size_t>(1) << 30)
+      << "grid too fine: reduce categories_per_dim";
+  return grid;
+}
+
+Symbol GridAlphabet::ToSymbol(std::span<const Value> element) const {
+  TSW_DCHECK(element.size() == dim());
+  std::size_t cell = 0;
+  for (std::size_t d = 0; d < dim(); ++d) {
+    cell += static_cast<std::size_t>(per_dim_[d].ToSymbol(element[d])) *
+            strides_[d];
+  }
+  return static_cast<Symbol>(cell);
+}
+
+dtw::Interval GridAlphabet::IntervalOf(Symbol s, std::size_t d) const {
+  const auto cell = static_cast<std::size_t>(s);
+  const auto sym_d =
+      static_cast<Symbol>((cell / strides_[d]) % per_dim_[d].size());
+  return per_dim_[d].ToInterval(sym_d);
+}
+
+Value GridAlphabet::CellLowerBound(std::span<const Value> element,
+                                   Symbol s) const {
+  TSW_DCHECK(element.size() == dim());
+  Value total = 0.0;
+  for (std::size_t d = 0; d < dim(); ++d) {
+    const dtw::Interval iv = IntervalOf(s, d);
+    total += dtw::BaseDistanceLb(element[d], iv.lb, iv.ub);
+  }
+  return total;
+}
+
+std::vector<std::vector<Symbol>> ConvertMultiDatabase(
+    const MultiSequenceDatabase& db, GridAlphabet* grid) {
+  TSW_CHECK(grid != nullptr);
+  std::vector<std::vector<Symbol>> out;
+  out.reserve(db.size());
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const Pos len = db.Length(id);
+    std::vector<Symbol> cs;
+    cs.reserve(len);
+    for (Pos p = 0; p < len; ++p) {
+      const std::span<const Value> elem = db.Element(id, p);
+      cs.push_back(grid->ToSymbol(elem));
+      for (std::size_t d = 0; d < db.dim(); ++d) {
+        // Fit per-dimension intervals to the observed data so the cell
+        // lower bound stays below the true base distance.
+        grid->mutable_dimension_alphabet(d)->FitValue(elem[d]);
+      }
+    }
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+}  // namespace tswarp::mv

@@ -1,0 +1,65 @@
+#ifndef TSWARP_MULTIVARIATE_GRID_ALPHABET_H_
+#define TSWARP_MULTIVARIATE_GRID_ALPHABET_H_
+
+#include <span>
+#include <vector>
+
+#include "categorize/alphabet.h"
+#include "categorize/categorizer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "multivariate/multi_database.h"
+
+namespace tswarp::mv {
+
+/// Multi-dimensional categorization (the MTAH-style grid of the paper's
+/// Section 8): one 1-D alphabet per dimension; an element maps to the cell
+/// indexed by the tuple of per-dimension symbols, flattened into a single
+/// Symbol (row-major over dimensions).
+class GridAlphabet {
+ public:
+  /// Builds per-dimension alphabets over the values observed in `db`
+  /// (`categories_per_dim` each) and fits the intervals to the data.
+  static StatusOr<GridAlphabet> Build(const MultiSequenceDatabase& db,
+                                      categorize::Method method,
+                                      std::size_t categories_per_dim,
+                                      std::uint64_t seed = 1);
+
+  std::size_t dim() const { return per_dim_.size(); }
+
+  /// Total number of grid cells (product of per-dimension sizes).
+  std::size_t NumCells() const { return num_cells_; }
+
+  /// Maps a `dim()`-wide element to its flattened cell symbol.
+  Symbol ToSymbol(std::span<const Value> element) const;
+
+  /// The [lb, ub] interval of cell `s` along dimension `d`.
+  dtw::Interval IntervalOf(Symbol s, std::size_t d) const;
+
+  /// Lower bound of the multivariate base distance between `element` and
+  /// cell `s`: sum over dimensions of the per-dimension interval distance.
+  Value CellLowerBound(std::span<const Value> element, Symbol s) const;
+
+  const categorize::Alphabet& dimension_alphabet(std::size_t d) const {
+    return per_dim_[d];
+  }
+  categorize::Alphabet* mutable_dimension_alphabet(std::size_t d) {
+    return &per_dim_[d];
+  }
+
+ private:
+  GridAlphabet() = default;
+
+  std::vector<categorize::Alphabet> per_dim_;
+  std::vector<std::size_t> strides_;
+  std::size_t num_cells_ = 1;
+};
+
+/// Converts every sequence of `db` to flattened cell symbols, fitting the
+/// grid's per-dimension intervals to the observed data.
+std::vector<std::vector<Symbol>> ConvertMultiDatabase(
+    const MultiSequenceDatabase& db, GridAlphabet* grid);
+
+}  // namespace tswarp::mv
+
+#endif  // TSWARP_MULTIVARIATE_GRID_ALPHABET_H_

@@ -1,0 +1,74 @@
+#ifndef TSWARP_MULTIVARIATE_MULTI_DATABASE_H_
+#define TSWARP_MULTIVARIATE_MULTI_DATABASE_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace tswarp::mv {
+
+/// A database of multivariate sequences (the paper's Section 8 extension:
+/// "sequences of multivariate numeric values"). Every element is a vector
+/// of `dim` values; sequences are stored flattened element-major, so
+/// element p of a sequence is the span [p*dim, (p+1)*dim).
+class MultiSequenceDatabase {
+ public:
+  explicit MultiSequenceDatabase(std::size_t dim) : dim_(dim) {
+    TSW_CHECK(dim >= 1);
+  }
+
+  MultiSequenceDatabase(const MultiSequenceDatabase&) = delete;
+  MultiSequenceDatabase& operator=(const MultiSequenceDatabase&) = delete;
+  MultiSequenceDatabase(MultiSequenceDatabase&&) = default;
+  MultiSequenceDatabase& operator=(MultiSequenceDatabase&&) = default;
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return sequences_.size(); }
+
+  /// Adds a flattened sequence; `flat.size()` must be a positive multiple
+  /// of dim().
+  SeqId Add(std::vector<Value> flat) {
+    TSW_CHECK(!flat.empty() && flat.size() % dim_ == 0);
+    total_elements_ += flat.size() / dim_;
+    sequences_.push_back(std::move(flat));
+    return static_cast<SeqId>(sequences_.size() - 1);
+  }
+
+  /// Number of elements (vectors) in sequence `id`.
+  Pos Length(SeqId id) const {
+    return static_cast<Pos>(sequence(id).size() / dim_);
+  }
+
+  const std::vector<Value>& sequence(SeqId id) const {
+    TSW_CHECK(id < sequences_.size());
+    return sequences_[id];
+  }
+
+  /// Element (vector) `pos` of sequence `id`.
+  std::span<const Value> Element(SeqId id, Pos pos) const {
+    const std::vector<Value>& s = sequence(id);
+    TSW_CHECK(static_cast<std::size_t>(pos + 1) * dim_ <= s.size());
+    return std::span<const Value>(s.data() + pos * dim_, dim_);
+  }
+
+  /// Flattened view of elements [start, start+len).
+  std::span<const Value> Slice(SeqId id, Pos start, Pos len) const {
+    const std::vector<Value>& s = sequence(id);
+    TSW_CHECK(static_cast<std::size_t>(start + len) * dim_ <= s.size());
+    return std::span<const Value>(s.data() + start * dim_, len * dim_);
+  }
+
+  std::size_t TotalElements() const { return total_elements_; }
+
+ private:
+  std::size_t dim_;
+  std::vector<std::vector<Value>> sequences_;
+  std::size_t total_elements_ = 0;
+};
+
+}  // namespace tswarp::mv
+
+#endif  // TSWARP_MULTIVARIATE_MULTI_DATABASE_H_

@@ -1,0 +1,58 @@
+#include "multivariate/multi_dtw.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dtw/warping_table.h"
+
+namespace tswarp::mv {
+
+Value MultiBaseDistance(std::span<const Value> a, std::span<const Value> b) {
+  TSW_DCHECK(a.size() == b.size());
+  Value d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+namespace {
+
+bool RunTable(std::span<const Value> a, std::size_t a_len,
+              std::span<const Value> b, std::size_t b_len, std::size_t dim,
+              Value epsilon, bool thresholded, Value* distance) {
+  TSW_CHECK(a_len > 0 && b_len > 0);
+  TSW_CHECK(a.size() == a_len * dim && b.size() == b_len * dim);
+  dtw::WarpingTable table(a_len, /*band=*/0);
+  for (std::size_t y = 0; y < b_len; ++y) {
+    const Value* elem = b.data() + y * dim;
+    table.PushRowCustom([&](std::size_t x) {
+      return MultiBaseDistance(
+          std::span<const Value>(a.data() + x * dim, dim),
+          std::span<const Value>(elem, dim));
+    });
+    if (thresholded && table.RowMin() > epsilon) return false;
+  }
+  const Value d = table.LastColumn();
+  if (thresholded && d > epsilon) return false;
+  *distance = d;
+  return true;
+}
+
+}  // namespace
+
+Value MultiDtwDistance(std::span<const Value> a, std::size_t a_len,
+                       std::span<const Value> b, std::size_t b_len,
+                       std::size_t dim) {
+  Value d = 0.0;
+  RunTable(a, a_len, b, b_len, dim, 0.0, /*thresholded=*/false, &d);
+  return d;
+}
+
+bool MultiDtwWithinThreshold(std::span<const Value> a, std::size_t a_len,
+                             std::span<const Value> b, std::size_t b_len,
+                             std::size_t dim, Value epsilon,
+                             Value* distance) {
+  return RunTable(a, a_len, b, b_len, dim, epsilon, /*thresholded=*/true,
+                  distance);
+}
+
+}  // namespace tswarp::mv

@@ -1,0 +1,29 @@
+#ifndef TSWARP_MULTIVARIATE_MULTI_DTW_H_
+#define TSWARP_MULTIVARIATE_MULTI_DTW_H_
+
+#include <span>
+
+#include "common/types.h"
+
+namespace tswarp::mv {
+
+/// City-block base distance between two `dim`-dimensional elements:
+/// sum_d |a_d - b_d| (the natural multivariate extension of the paper's
+/// D_base).
+Value MultiBaseDistance(std::span<const Value> a, std::span<const Value> b);
+
+/// Exact multivariate time warping distance between flattened sequences
+/// `a` (a_len elements) and `b` (b_len elements), each element `dim` wide.
+Value MultiDtwDistance(std::span<const Value> a, std::size_t a_len,
+                       std::span<const Value> b, std::size_t b_len,
+                       std::size_t dim);
+
+/// Thresholded variant with Theorem-1 early abandon; true iff the distance
+/// is <= epsilon (then *distance is set).
+bool MultiDtwWithinThreshold(std::span<const Value> a, std::size_t a_len,
+                             std::span<const Value> b, std::size_t b_len,
+                             std::size_t dim, Value epsilon, Value* distance);
+
+}  // namespace tswarp::mv
+
+#endif  // TSWARP_MULTIVARIATE_MULTI_DTW_H_

@@ -1,0 +1,135 @@
+#include "seqdb/sequence_database.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tswarp::seqdb {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54535744;  // "TSWD"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+SeqId SequenceDatabase::Add(Sequence seq) {
+  TSW_CHECK(!seq.empty()) << "sequences must be non-null";
+  total_elements_ += seq.size();
+  sequences_.push_back(std::move(seq));
+  return static_cast<SeqId>(sequences_.size() - 1);
+}
+
+const Sequence& SequenceDatabase::sequence(SeqId id) const {
+  TSW_CHECK(id < sequences_.size()) << "bad SeqId " << id;
+  return sequences_[id];
+}
+
+std::span<const Value> SequenceDatabase::Subsequence(SeqId id, Pos start,
+                                                     Pos len) const {
+  const Sequence& s = sequence(id);
+  TSW_CHECK(start + len <= s.size())
+      << "subsequence [" << start << ", +" << len << ") out of range for "
+      << "sequence of length " << s.size();
+  return std::span<const Value>(s.data() + start, len);
+}
+
+std::span<const Value> SequenceDatabase::Suffix(SeqId id, Pos start) const {
+  const Sequence& s = sequence(id);
+  TSW_CHECK(start < s.size());
+  return std::span<const Value>(s.data() + start, s.size() - start);
+}
+
+double SequenceDatabase::AverageLength() const {
+  if (sequences_.empty()) return 0.0;
+  return static_cast<double>(total_elements_) /
+         static_cast<double>(sequences_.size());
+}
+
+std::pair<Value, Value> SequenceDatabase::ValueRange() const {
+  TSW_CHECK(!sequences_.empty());
+  Value lo = kInfinity;
+  Value hi = -kInfinity;
+  for (const Sequence& s : sequences_) {
+    for (Value v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return {lo, hi};
+}
+
+Value SequenceDatabase::MeanValue(SeqId id) const {
+  const Sequence& s = sequence(id);
+  return std::accumulate(s.begin(), s.end(), 0.0) /
+         static_cast<double>(s.size());
+}
+
+Status SequenceDatabase::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (!WritePod(f.get(), kMagic) || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), static_cast<std::uint64_t>(sequences_.size()))) {
+    return Status::IOError("short write to " + path);
+  }
+  for (const Sequence& s : sequences_) {
+    if (!WritePod(f.get(), static_cast<std::uint64_t>(s.size()))) {
+      return Status::IOError("short write to " + path);
+    }
+    if (std::fwrite(s.data(), sizeof(Value), s.size(), f.get()) != s.size()) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<SequenceDatabase> SequenceDatabase::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!ReadPod(f.get(), &magic) || !ReadPod(f.get(), &version) ||
+      !ReadPod(f.get(), &count)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (magic != kMagic) return Status::Corruption("bad magic in " + path);
+  if (version != kVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  SequenceDatabase db;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    if (!ReadPod(f.get(), &len) || len == 0) {
+      return Status::Corruption("bad sequence length in " + path);
+    }
+    Sequence s(len);
+    if (std::fread(s.data(), sizeof(Value), len, f.get()) != len) {
+      return Status::Corruption("truncated sequence data in " + path);
+    }
+    db.Add(std::move(s));
+  }
+  return db;
+}
+
+}  // namespace tswarp::seqdb

@@ -1,0 +1,77 @@
+#ifndef TSWARP_SEQDB_SEQUENCE_DATABASE_H_
+#define TSWARP_SEQDB_SEQUENCE_DATABASE_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tswarp::seqdb {
+
+/// A univariate sequence of continuous values.
+using Sequence = std::vector<Value>;
+
+/// In-memory collection of sequences, the "sequence database" of the paper.
+/// Sequences are identified by dense SeqIds in insertion order.
+///
+/// The database owns element storage; Subsequence() hands out spans into it,
+/// so the database must outlive any span (the searchers honor this).
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+
+  SequenceDatabase(const SequenceDatabase&) = delete;
+  SequenceDatabase& operator=(const SequenceDatabase&) = delete;
+  SequenceDatabase(SequenceDatabase&&) = default;
+  SequenceDatabase& operator=(SequenceDatabase&&) = default;
+
+  /// Appends `seq` and returns its id. Empty sequences are rejected by
+  /// TSW_CHECK (the paper's definitions require non-null sequences).
+  SeqId Add(Sequence seq);
+
+  /// Number of sequences (the paper's M).
+  std::size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+
+  const Sequence& sequence(SeqId id) const;
+
+  /// View of S_id[start : start+len-1] (0-based start, inclusive length).
+  std::span<const Value> Subsequence(SeqId id, Pos start, Pos len) const;
+
+  /// Suffix view S_id[start:-].
+  std::span<const Value> Suffix(SeqId id, Pos start) const;
+
+  /// Total number of elements across all sequences (M * L-bar).
+  std::size_t TotalElements() const { return total_elements_; }
+
+  /// Average sequence length (the paper's L-bar); 0 when empty.
+  double AverageLength() const;
+
+  /// (min, max) element value over the whole database. Requires non-empty.
+  std::pair<Value, Value> ValueRange() const;
+
+  /// Mean element value of one sequence (used for query stratification).
+  Value MeanValue(SeqId id) const;
+
+  /// Raw size of the stored data in bytes (elements only), the "database
+  /// size" that Table 3 compares index sizes against.
+  std::size_t DataBytes() const { return total_elements_ * sizeof(Value); }
+
+  /// Serializes to a binary file. Format: magic, version, per-sequence
+  /// length-prefixed doubles.
+  Status Save(const std::string& path) const;
+
+  /// Loads a database previously written by Save().
+  static StatusOr<SequenceDatabase> Load(const std::string& path);
+
+ private:
+  std::vector<Sequence> sequences_;
+  std::size_t total_elements_ = 0;
+};
+
+}  // namespace tswarp::seqdb
+
+#endif  // TSWARP_SEQDB_SEQUENCE_DATABASE_H_

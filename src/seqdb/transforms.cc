@@ -1,0 +1,65 @@
+#include "seqdb/transforms.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tswarp::seqdb {
+
+Sequence ZNormalize(std::span<const Value> s) {
+  TSW_CHECK(!s.empty());
+  const double n = static_cast<double>(s.size());
+  const double mean = std::accumulate(s.begin(), s.end(), 0.0) / n;
+  double var = 0.0;
+  for (Value v : s) var += (v - mean) * (v - mean);
+  var /= n;
+  const double stddev = std::sqrt(var);
+  Sequence out;
+  out.reserve(s.size());
+  if (stddev < 1e-12) {
+    out.assign(s.size(), 0.0);
+    return out;
+  }
+  for (Value v : s) out.push_back((v - mean) / stddev);
+  return out;
+}
+
+Sequence MovingAverage(std::span<const Value> s, std::size_t w) {
+  TSW_CHECK(!s.empty() && w >= 1);
+  Sequence out;
+  out.reserve(s.size());
+  double window_sum = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    window_sum += s[i];
+    if (i >= w) window_sum -= s[i - w];
+    const std::size_t denom = std::min(i + 1, w);
+    out.push_back(window_sum / static_cast<double>(denom));
+  }
+  return out;
+}
+
+Sequence Downsample(std::span<const Value> s, std::size_t k) {
+  TSW_CHECK(!s.empty() && k >= 1);
+  Sequence out;
+  out.reserve(s.size() / k + 1);
+  for (std::size_t i = 0; i < s.size(); i += k) out.push_back(s[i]);
+  return out;
+}
+
+Sequence PiecewiseAggregate(std::span<const Value> s, std::size_t pieces) {
+  TSW_CHECK(!s.empty());
+  TSW_CHECK(pieces >= 1 && pieces <= s.size());
+  Sequence out;
+  out.reserve(pieces);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    const std::size_t begin = p * s.size() / pieces;
+    const std::size_t end = (p + 1) * s.size() / pieces;
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += s[i];
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+}  // namespace tswarp::seqdb

@@ -1,0 +1,47 @@
+#ifndef TSWARP_SEQDB_TRANSFORMS_H_
+#define TSWARP_SEQDB_TRANSFORMS_H_
+
+#include <span>
+
+#include "common/types.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp::seqdb {
+
+/// Preprocessing transforms commonly applied before time-warping search
+/// (cf. the shape-based transformation literature the paper discusses in
+/// Section 2: moving averages, scaling, shifting). All return new
+/// sequences; inputs are untouched.
+
+/// Subtracts the mean and divides by the standard deviation. Sequences
+/// with zero variance come back as all-zeros. Makes matching invariant to
+/// vertical shift and amplitude scale.
+Sequence ZNormalize(std::span<const Value> s);
+
+/// Simple moving average with window `w` (>= 1): out[i] is the mean of the
+/// window ending at i (shorter head windows use the available prefix).
+/// Smooths noise before indexing; |out| == |s|.
+Sequence MovingAverage(std::span<const Value> s, std::size_t w);
+
+/// Keeps every k-th element (k >= 1), starting at index 0. Models the
+/// different sampling rates the paper motivates with.
+Sequence Downsample(std::span<const Value> s, std::size_t k);
+
+/// Piecewise aggregate approximation: divides `s` into `pieces` equal-ish
+/// segments and replaces each by its mean. Requires 1 <= pieces <= |s|.
+Sequence PiecewiseAggregate(std::span<const Value> s, std::size_t pieces);
+
+/// Applies `transform` to every sequence of `db`.
+template <typename Fn>
+SequenceDatabase TransformDatabase(const SequenceDatabase& db,
+                                   Fn&& transform) {
+  SequenceDatabase out;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    out.Add(transform(std::span<const Value>(db.sequence(id))));
+  }
+  return out;
+}
+
+}  // namespace tswarp::seqdb
+
+#endif  // TSWARP_SEQDB_TRANSFORMS_H_

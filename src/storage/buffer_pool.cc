@@ -1,0 +1,98 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tswarp::storage {
+
+BufferPool::BufferPool(PagedFile* file, std::size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages),
+      logical_size_(file->SizeBytes()) {
+  TSW_CHECK(file != nullptr);
+  TSW_CHECK(capacity_pages >= 1);
+  frames_.reserve(capacity_);
+}
+
+StatusOr<std::size_t> BufferPool::Pin(std::uint64_t page_no) {
+  auto it = page_map_.find(page_no);
+  if (it != page_map_.end()) {
+    ++stats_.hits;
+    // Move to front of LRU.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+  }
+  ++stats_.misses;
+  std::size_t frame_idx;
+  if (frames_.size() < capacity_) {
+    frame_idx = frames_.size();
+    frames_.emplace_back();
+    frames_.back().data.resize(PagedFile::kPageSize);
+  } else {
+    // Evict least-recently-used.
+    frame_idx = lru_.back();
+    lru_.pop_back();
+    Frame& victim = frames_[frame_idx];
+    page_map_.erase(victim.page_no);
+    ++stats_.evictions;
+    if (victim.dirty) {
+      ++stats_.writebacks;
+      TSW_RETURN_IF_ERROR(file_->WritePage(victim.page_no, victim.data));
+      victim.dirty = false;
+    }
+  }
+  Frame& frame = frames_[frame_idx];
+  frame.page_no = page_no;
+  frame.dirty = false;
+  TSW_RETURN_IF_ERROR(file_->ReadPage(page_no, frame.data));
+  lru_.push_front(frame_idx);
+  page_map_[page_no] = lru_.begin();
+  return frame_idx;
+}
+
+Status BufferPool::Read(std::uint64_t offset, void* out, std::size_t n) {
+  auto* dst = static_cast<std::byte*>(out);
+  while (n > 0) {
+    const std::uint64_t page_no = offset / PagedFile::kPageSize;
+    const std::size_t in_page = offset % PagedFile::kPageSize;
+    const std::size_t chunk = std::min(n, PagedFile::kPageSize - in_page);
+    TSW_ASSIGN_OR_RETURN(const std::size_t frame_idx, Pin(page_no));
+    std::memcpy(dst, frames_[frame_idx].data.data() + in_page, chunk);
+    dst += chunk;
+    offset += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Write(std::uint64_t offset, const void* in,
+                         std::size_t n) {
+  const auto* src = static_cast<const std::byte*>(in);
+  while (n > 0) {
+    const std::uint64_t page_no = offset / PagedFile::kPageSize;
+    const std::size_t in_page = offset % PagedFile::kPageSize;
+    const std::size_t chunk = std::min(n, PagedFile::kPageSize - in_page);
+    TSW_ASSIGN_OR_RETURN(const std::size_t frame_idx, Pin(page_no));
+    std::memcpy(frames_[frame_idx].data.data() + in_page, src, chunk);
+    frames_[frame_idx].dirty = true;
+    src += chunk;
+    offset += chunk;
+    n -= chunk;
+    logical_size_ = std::max(logical_size_, offset);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  for (Frame& f : frames_) {
+    if (f.dirty) {
+      ++stats_.writebacks;
+      TSW_RETURN_IF_ERROR(file_->WritePage(f.page_no, f.data));
+      f.dirty = false;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace tswarp::storage

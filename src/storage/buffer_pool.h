@@ -1,0 +1,74 @@
+#ifndef TSWARP_STORAGE_BUFFER_POOL_H_
+#define TSWARP_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/paged_file.h"
+
+namespace tswarp::storage {
+
+/// LRU page cache in front of a PagedFile. Byte-granular Read()/Write()
+/// copy across page boundaries, so callers work with plain records while
+/// only `capacity_pages` pages of the file are resident — the "disk-based
+/// representation in limited main memory" of the paper's index
+/// construction and traversal.
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+  };
+
+  /// `file` must outlive the pool. `capacity_pages` >= 1.
+  BufferPool(PagedFile* file, std::size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Reads `n` bytes at byte `offset` into `out`.
+  Status Read(std::uint64_t offset, void* out, std::size_t n);
+
+  /// Writes `n` bytes at byte `offset`, extending the file as needed.
+  Status Write(std::uint64_t offset, const void* in, std::size_t n);
+
+  /// Writes all dirty pages back to the file.
+  Status Flush();
+
+  const Stats& stats() const { return stats_; }
+  std::size_t capacity_pages() const { return capacity_; }
+
+  /// Logical end of written data (high-water byte offset).
+  std::uint64_t logical_size() const { return logical_size_; }
+
+ private:
+  struct Frame {
+    std::uint64_t page_no = 0;
+    bool dirty = false;
+    std::vector<std::byte> data;
+  };
+
+  /// Returns the frame index holding `page_no`, faulting it in and
+  /// evicting the LRU page if needed.
+  StatusOr<std::size_t> Pin(std::uint64_t page_no);
+
+  PagedFile* file_;
+  std::size_t capacity_;
+  std::vector<Frame> frames_;
+  // LRU: front = most recent. Values are frame indices.
+  std::list<std::size_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::size_t>::iterator>
+      page_map_;
+  Stats stats_;
+  std::uint64_t logical_size_ = 0;
+};
+
+}  // namespace tswarp::storage
+
+#endif  // TSWARP_STORAGE_BUFFER_POOL_H_

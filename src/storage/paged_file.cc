@@ -1,0 +1,71 @@
+#include "storage/paged_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tswarp::storage {
+
+StatusOr<PagedFile> PagedFile::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  return PagedFile(path, f, 0);
+}
+
+StatusOr<PagedFile> PagedFile::Open(const std::string& path, bool writable) {
+  std::FILE* f = std::fopen(path.c_str(), writable ? "rb+" : "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot tell " + path);
+  }
+  return PagedFile(path, f, static_cast<std::uint64_t>(size));
+}
+
+Status PagedFile::ReadPage(std::uint64_t page_no, std::span<std::byte> out) {
+  TSW_CHECK(out.size() == kPageSize);
+  const std::uint64_t offset = page_no * kPageSize;
+  if (offset >= size_bytes_) {
+    std::memset(out.data(), 0, kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_.get(), static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path_);
+  }
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          kPageSize, size_bytes_ - offset));
+  const std::size_t got = std::fread(out.data(), 1, want, file_.get());
+  if (got != want) return Status::IOError("short read in " + path_);
+  if (got < kPageSize) std::memset(out.data() + got, 0, kPageSize - got);
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(std::uint64_t page_no,
+                            std::span<const std::byte> in) {
+  TSW_CHECK(in.size() == kPageSize);
+  const std::uint64_t offset = page_no * kPageSize;
+  if (std::fseek(file_.get(), static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path_);
+  }
+  if (std::fwrite(in.data(), 1, kPageSize, file_.get()) != kPageSize) {
+    return Status::IOError("short write in " + path_);
+  }
+  size_bytes_ = std::max(size_bytes_, offset + kPageSize);
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  if (std::fflush(file_.get()) != 0) {
+    return Status::IOError("flush failed in " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace tswarp::storage

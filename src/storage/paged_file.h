@@ -1,0 +1,65 @@
+#ifndef TSWARP_STORAGE_PAGED_FILE_H_
+#define TSWARP_STORAGE_PAGED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace tswarp::storage {
+
+/// Fixed-size-page file abstraction beneath the buffer pool. Pages are
+/// kPageSize bytes; reading a page beyond the current end yields zeros
+/// (pages come into existence when first written).
+class PagedFile {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  /// Creates (truncates) a file for read/write.
+  static StatusOr<PagedFile> Create(const std::string& path);
+
+  /// Opens an existing file; `writable` controls write access.
+  static StatusOr<PagedFile> Open(const std::string& path, bool writable);
+
+  PagedFile(PagedFile&&) = default;
+  PagedFile& operator=(PagedFile&&) = default;
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Reads page `page_no` into `out` (kPageSize bytes). Beyond-EOF bytes
+  /// are zero-filled.
+  Status ReadPage(std::uint64_t page_no, std::span<std::byte> out);
+
+  /// Writes page `page_no` from `in` (kPageSize bytes), extending the file
+  /// as needed.
+  Status WritePage(std::uint64_t page_no, std::span<const std::byte> in);
+
+  Status Sync();
+
+  /// Size of the file in bytes (as last observed).
+  std::uint64_t SizeBytes() const { return size_bytes_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Closer {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  PagedFile(std::string path, std::FILE* f, std::uint64_t size)
+      : path_(std::move(path)), file_(f), size_bytes_(size) {}
+
+  std::string path_;
+  std::unique_ptr<std::FILE, Closer> file_;
+  std::uint64_t size_bytes_ = 0;
+};
+
+}  // namespace tswarp::storage
+
+#endif  // TSWARP_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,395 @@
+#include "suffixtree/disk_tree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "suffixtree/merge.h"
+
+namespace tswarp::suffixtree {
+namespace {
+
+constexpr std::uint64_t kMetaMagic = 0x545357545245451ull;  // "TSWTREE"+1
+constexpr std::uint32_t kMetaVersion = 1;
+
+// On-disk node record: 32 bytes, no padding.
+struct NodeRecord {
+  std::uint64_t label_offset;  // Symbol index into the label region.
+  std::uint32_t label_len;
+  std::uint32_t first_child;
+  std::uint32_t next_sibling;
+  std::uint32_t first_occ;
+  std::uint32_t subtree_occ;
+  std::uint32_t max_run;
+};
+static_assert(sizeof(NodeRecord) == 32);
+
+// On-disk occurrence record: 16 bytes.
+struct OccRecord {
+  std::uint32_t seq;
+  std::uint32_t pos;
+  std::uint32_t run;
+  std::uint32_t next;
+};
+static_assert(sizeof(OccRecord) == 16);
+
+constexpr std::uint32_t kNilOcc = 0xFFFFFFFFu;
+
+struct MetaRecord {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t finalized;
+  std::uint64_t num_nodes;
+  std::uint64_t num_occs;
+  std::uint64_t num_label_symbols;
+};
+
+std::string NodesPath(const std::string& base) { return base + ".nodes"; }
+std::string OccsPath(const std::string& base) { return base + ".occs"; }
+std::string LabelsPath(const std::string& base) { return base + ".labels"; }
+std::string MetaPath(const std::string& base) { return base + ".meta"; }
+
+Status ReadNode(const storage::BufferPool& pool_const, NodeId id,
+                NodeRecord* out) {
+  auto& pool = const_cast<storage::BufferPool&>(pool_const);
+  return pool.Read(static_cast<std::uint64_t>(id) * sizeof(NodeRecord), out,
+                   sizeof(NodeRecord));
+}
+
+Status WriteNode(storage::BufferPool& pool, NodeId id,
+                 const NodeRecord& rec) {
+  return pool.Write(static_cast<std::uint64_t>(id) * sizeof(NodeRecord),
+                    &rec, sizeof(NodeRecord));
+}
+
+Status ReadOcc(const storage::BufferPool& pool_const, std::uint32_t id,
+               OccRecord* out) {
+  auto& pool = const_cast<storage::BufferPool&>(pool_const);
+  return pool.Read(static_cast<std::uint64_t>(id) * sizeof(OccRecord), out,
+                   sizeof(OccRecord));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DiskTreeWriter
+// ---------------------------------------------------------------------------
+
+DiskTreeWriter::DiskTreeWriter(const std::string& base_path,
+                               DiskTreeOptions options)
+    : base_path_(base_path), options_(options) {}
+
+StatusOr<std::unique_ptr<DiskTreeWriter>> DiskTreeWriter::Create(
+    const std::string& base_path, DiskTreeOptions options) {
+  std::unique_ptr<DiskTreeWriter> writer(
+      new DiskTreeWriter(base_path, options));
+  TSW_RETURN_IF_ERROR(writer->Init());
+  return writer;
+}
+
+Status DiskTreeWriter::Init() {
+  TSW_ASSIGN_OR_RETURN(auto nodes_file,
+                       storage::PagedFile::Create(NodesPath(base_path_)));
+  TSW_ASSIGN_OR_RETURN(auto occs_file,
+                       storage::PagedFile::Create(OccsPath(base_path_)));
+  TSW_ASSIGN_OR_RETURN(auto labels_file,
+                       storage::PagedFile::Create(LabelsPath(base_path_)));
+  node_file_ = std::make_unique<storage::PagedFile>(std::move(nodes_file));
+  occ_file_ = std::make_unique<storage::PagedFile>(std::move(occs_file));
+  label_file_ = std::make_unique<storage::PagedFile>(std::move(labels_file));
+  nodes_ = std::make_unique<storage::BufferPool>(node_file_.get(),
+                                                 options_.pool_pages);
+  occs_ = std::make_unique<storage::BufferPool>(occ_file_.get(),
+                                                options_.pool_pages);
+  labels_ = std::make_unique<storage::BufferPool>(label_file_.get(),
+                                                  options_.pool_pages);
+  return Status::OK();
+}
+
+NodeId DiskTreeWriter::AddNode(NodeId parent, std::span<const Symbol> label) {
+  const auto id = static_cast<NodeId>(num_nodes_);
+  NodeRecord rec{};
+  rec.first_child = kNilNode;
+  rec.next_sibling = kNilNode;
+  rec.first_occ = kNilOcc;
+  if (parent == kNilNode) {
+    TSW_CHECK(num_nodes_ == 0) << "root must be the first node";
+  } else {
+    rec.label_offset = num_label_symbols_;
+    rec.label_len = static_cast<std::uint32_t>(label.size());
+    Latch(labels_->Write(num_label_symbols_ * sizeof(Symbol), label.data(),
+                         label.size() * sizeof(Symbol)));
+    num_label_symbols_ += label.size();
+    // Prepend into the parent's child chain.
+    NodeRecord parent_rec;
+    Latch(ReadNode(*nodes_, parent, &parent_rec));
+    rec.next_sibling = parent_rec.first_child;
+    parent_rec.first_child = id;
+    Latch(WriteNode(*nodes_, parent, parent_rec));
+  }
+  Latch(WriteNode(*nodes_, id, rec));
+  ++num_nodes_;
+  return id;
+}
+
+void DiskTreeWriter::AddOccurrence(NodeId node, const OccurrenceRec& occ) {
+  NodeRecord node_rec;
+  Latch(ReadNode(*nodes_, node, &node_rec));
+  OccRecord rec{occ.seq, occ.pos, occ.run, node_rec.first_occ};
+  const auto id = static_cast<std::uint32_t>(num_occs_);
+  Latch(occs_->Write(num_occs_ * sizeof(OccRecord), &rec, sizeof(OccRecord)));
+  node_rec.first_occ = id;
+  Latch(WriteNode(*nodes_, node, node_rec));
+  ++num_occs_;
+}
+
+void DiskTreeWriter::Finalize() {
+  TSW_CHECK(!finalized_);
+  if (num_nodes_ == 0) {
+    finalized_ = true;
+    return;
+  }
+  // Iterative post-order pass patching subtree_occ / max_run.
+  struct Frame {
+    NodeId node;
+    bool processed;
+  };
+  std::vector<Frame> stack = {{0, false}};
+  while (!stack.empty() && status_.ok()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    NodeRecord rec;
+    Latch(ReadNode(*nodes_, f.node, &rec));
+    if (!f.processed) {
+      stack.push_back({f.node, true});
+      for (NodeId c = rec.first_child; c != kNilNode;) {
+        stack.push_back({c, false});
+        NodeRecord crec;
+        Latch(ReadNode(*nodes_, c, &crec));
+        if (!status_.ok()) break;
+        c = crec.next_sibling;
+      }
+      continue;
+    }
+    std::uint32_t count = 0;
+    std::uint32_t max_run = 0;
+    for (std::uint32_t o = rec.first_occ; o != kNilOcc;) {
+      OccRecord orec;
+      Latch(ReadOcc(*occs_, o, &orec));
+      if (!status_.ok()) break;
+      ++count;
+      max_run = std::max(max_run, orec.run);
+      o = orec.next;
+    }
+    for (NodeId c = rec.first_child; c != kNilNode;) {
+      NodeRecord crec;
+      Latch(ReadNode(*nodes_, c, &crec));
+      if (!status_.ok()) break;
+      count += crec.subtree_occ;
+      max_run = std::max(max_run, crec.max_run);
+      c = crec.next_sibling;
+    }
+    rec.subtree_occ = count;
+    rec.max_run = max_run;
+    Latch(WriteNode(*nodes_, f.node, rec));
+  }
+  finalized_ = true;
+}
+
+Status DiskTreeWriter::Close() {
+  TSW_RETURN_IF_ERROR(status_);
+  TSW_CHECK(finalized_) << "Finalize() before Close()";
+  TSW_RETURN_IF_ERROR(nodes_->Flush());
+  TSW_RETURN_IF_ERROR(occs_->Flush());
+  TSW_RETURN_IF_ERROR(labels_->Flush());
+  TSW_ASSIGN_OR_RETURN(auto meta_file,
+                       storage::PagedFile::Create(MetaPath(base_path_)));
+  MetaRecord meta{kMetaMagic, kMetaVersion, 1u, num_nodes_, num_occs_,
+                  num_label_symbols_};
+  std::vector<std::byte> page(storage::PagedFile::kPageSize);
+  std::memcpy(page.data(), &meta, sizeof(meta));
+  TSW_RETURN_IF_ERROR(meta_file.WritePage(0, page));
+  return meta_file.Sync();
+}
+
+// ---------------------------------------------------------------------------
+// DiskSuffixTree
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
+    const std::string& base_path, DiskTreeOptions options) {
+  std::unique_ptr<DiskSuffixTree> tree(new DiskSuffixTree());
+  tree->base_path_ = base_path;
+
+  TSW_ASSIGN_OR_RETURN(auto meta_file,
+                       storage::PagedFile::Open(MetaPath(base_path), false));
+  std::vector<std::byte> page(storage::PagedFile::kPageSize);
+  TSW_RETURN_IF_ERROR(meta_file.ReadPage(0, page));
+  MetaRecord meta;
+  std::memcpy(&meta, page.data(), sizeof(meta));
+  if (meta.magic != kMetaMagic) {
+    return Status::Corruption("bad magic in " + MetaPath(base_path));
+  }
+  if (meta.version != kMetaVersion || meta.finalized != 1) {
+    return Status::Corruption("unreadable tree bundle " + base_path);
+  }
+  tree->num_nodes_ = meta.num_nodes;
+  tree->num_occs_ = meta.num_occs;
+  tree->num_label_symbols_ = meta.num_label_symbols;
+
+  TSW_ASSIGN_OR_RETURN(auto nodes_file,
+                       storage::PagedFile::Open(NodesPath(base_path), false));
+  TSW_ASSIGN_OR_RETURN(auto occs_file,
+                       storage::PagedFile::Open(OccsPath(base_path), false));
+  TSW_ASSIGN_OR_RETURN(
+      auto labels_file, storage::PagedFile::Open(LabelsPath(base_path),
+                                                 false));
+  tree->node_file_ =
+      std::make_unique<storage::PagedFile>(std::move(nodes_file));
+  tree->occ_file_ = std::make_unique<storage::PagedFile>(std::move(occs_file));
+  tree->label_file_ =
+      std::make_unique<storage::PagedFile>(std::move(labels_file));
+  tree->nodes_ = std::make_unique<storage::BufferPool>(tree->node_file_.get(),
+                                                       options.pool_pages);
+  tree->occs_ = std::make_unique<storage::BufferPool>(tree->occ_file_.get(),
+                                                      options.pool_pages);
+  tree->labels_ = std::make_unique<storage::BufferPool>(
+      tree->label_file_.get(), options.pool_pages);
+  return tree;
+}
+
+void DiskSuffixTree::GetChildren(NodeId node, Children* out) const {
+  out->Clear();
+  NodeRecord rec;
+  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
+  for (NodeId c = rec.first_child; c != kNilNode;) {
+    NodeRecord crec;
+    TSW_CHECK(ReadNode(*nodes_, c, &crec).ok());
+    const auto begin = static_cast<std::uint32_t>(out->label_pool.size());
+    out->label_pool.resize(begin + crec.label_len);
+    TSW_CHECK(labels_
+                  ->Read(crec.label_offset * sizeof(Symbol),
+                         out->label_pool.data() + begin,
+                         crec.label_len * sizeof(Symbol))
+                  .ok());
+    out->edges.push_back({c, begin, crec.label_len});
+    c = crec.next_sibling;
+  }
+}
+
+void DiskSuffixTree::GetOccurrences(NodeId node,
+                                    std::vector<OccurrenceRec>* out) const {
+  NodeRecord rec;
+  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
+  for (std::uint32_t o = rec.first_occ; o != kNilOcc;) {
+    OccRecord orec;
+    TSW_CHECK(ReadOcc(*occs_, o, &orec).ok());
+    out->push_back({orec.seq, orec.pos, orec.run});
+    o = orec.next;
+  }
+}
+
+std::uint32_t DiskSuffixTree::SubtreeOccCount(NodeId node) const {
+  NodeRecord rec;
+  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
+  return rec.subtree_occ;
+}
+
+Pos DiskSuffixTree::MaxRun(NodeId node) const {
+  NodeRecord rec;
+  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
+  return rec.max_run;
+}
+
+std::uint64_t DiskSuffixTree::SizeBytes() const {
+  return storage::PagedFile::kPageSize +  // meta page
+         num_nodes_ * sizeof(NodeRecord) + num_occs_ * sizeof(OccRecord) +
+         num_label_symbols_ * sizeof(Symbol);
+}
+
+storage::BufferPool::Stats DiskSuffixTree::PoolStats() const {
+  storage::BufferPool::Stats total;
+  for (const storage::BufferPool* p :
+       {nodes_.get(), occs_.get(), labels_.get()}) {
+    total.hits += p->stats().hits;
+    total.misses += p->stats().misses;
+    total.evictions += p->stats().evictions;
+    total.writebacks += p->stats().writebacks;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// High-level build
+// ---------------------------------------------------------------------------
+
+Status WriteTreeToDisk(const TreeView& view, const std::string& base_path,
+                       DiskTreeOptions options) {
+  TSW_ASSIGN_OR_RETURN(auto writer,
+                       DiskTreeWriter::Create(base_path, options));
+  CopyTree(view, writer.get());
+  return writer->Close();
+}
+
+void RemoveDiskTree(const std::string& base_path) {
+  std::remove(NodesPath(base_path).c_str());
+  std::remove(OccsPath(base_path).c_str());
+  std::remove(LabelsPath(base_path).c_str());
+  std::remove(MetaPath(base_path).c_str());
+}
+
+StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
+    const SymbolDatabase& db, const std::string& base_path,
+    DiskBuildOptions options) {
+  TSW_CHECK(options.batch_sequences >= 1);
+  // Phase 1: spill batch trees.
+  std::vector<std::string> pending;
+  int next_tmp = 0;
+  for (SeqId begin = 0; begin < db.size();
+       begin += static_cast<SeqId>(options.batch_sequences)) {
+    const SeqId end = static_cast<SeqId>(
+        std::min<std::size_t>(db.size(), begin + options.batch_sequences));
+    SuffixTreeBuilder builder(&db, options.build);
+    for (SeqId id = begin; id < end; ++id) builder.InsertSequence(id);
+    SuffixTree batch = builder.Build();
+    const std::string tmp = base_path + ".tmp" + std::to_string(next_tmp++);
+    TSW_RETURN_IF_ERROR(WriteTreeToDisk(batch, tmp, options.tree));
+    pending.push_back(tmp);
+  }
+  if (pending.empty()) {
+    return Status::InvalidArgument("empty symbol database");
+  }
+
+  // Phase 2: binary merges of trees of increasing size (FIFO pairing).
+  std::size_t head = 0;
+  while (pending.size() - head > 1) {
+    const std::string a = pending[head++];
+    const std::string b = pending[head++];
+    TSW_ASSIGN_OR_RETURN(auto view_a, DiskSuffixTree::Open(a, options.tree));
+    TSW_ASSIGN_OR_RETURN(auto view_b, DiskSuffixTree::Open(b, options.tree));
+    const std::string out = base_path + ".tmp" + std::to_string(next_tmp++);
+    TSW_ASSIGN_OR_RETURN(auto writer,
+                         DiskTreeWriter::Create(out, options.tree));
+    MergeTrees(*view_a, *view_b, writer.get());
+    TSW_RETURN_IF_ERROR(writer->Close());
+    RemoveDiskTree(a);
+    RemoveDiskTree(b);
+    pending.push_back(out);
+  }
+
+  // Rename the survivor into place.
+  const std::string last = pending[head];
+  RemoveDiskTree(base_path);
+  for (const char* suffix : {".meta", ".nodes", ".occs", ".labels"}) {
+    const std::string from = last + suffix;
+    const std::string to = base_path + suffix;
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename " + from + " -> " + to + " failed");
+    }
+  }
+  return DiskSuffixTree::Open(base_path, options.tree);
+}
+
+}  // namespace tswarp::suffixtree

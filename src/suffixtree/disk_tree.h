@@ -1,0 +1,139 @@
+#ifndef TSWARP_SUFFIXTREE_DISK_TREE_H_
+#define TSWARP_SUFFIXTREE_DISK_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+#include "suffixtree/suffix_tree.h"
+#include "suffixtree/symbol_database.h"
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::suffixtree {
+
+/// A disk-resident suffix tree is a bundle of four files:
+///   <base>.meta    counts + magic
+///   <base>.nodes   fixed 32-byte node records
+///   <base>.occs    fixed 16-byte occurrence records
+///   <base>.labels  materialized edge-label symbols (4 bytes each)
+/// All access goes through per-file LRU buffer pools, so trees larger than
+/// RAM can be built, merged, and searched with a bounded page budget —
+/// the paper's disk-based index.
+struct DiskTreeOptions {
+  /// Buffer-pool pages per region file.
+  std::size_t pool_pages = 256;
+};
+
+/// TreeSink that writes a disk tree bundle. Nodes and occurrences are
+/// appended; parent/sibling links are patched in place through the pool.
+class DiskTreeWriter : public TreeSink {
+ public:
+  static StatusOr<std::unique_ptr<DiskTreeWriter>> Create(
+      const std::string& base_path, DiskTreeOptions options = {});
+
+  // --- TreeSink ---
+  NodeId AddNode(NodeId parent, std::span<const Symbol> label) override;
+  void AddOccurrence(NodeId node, const OccurrenceRec& occ) override;
+  void Finalize() override;
+
+  /// Flushes pools and writes the meta file. Must be called after
+  /// Finalize(); the bundle is unreadable before Close().
+  Status Close();
+
+  /// Last I/O error, if any sink call failed (TreeSink's interface has no
+  /// Status returns; errors are latched and surfaced here / by Close()).
+  const Status& status() const { return status_; }
+
+ private:
+  DiskTreeWriter(const std::string& base_path, DiskTreeOptions options);
+
+  Status Init();
+  void Latch(const Status& s) {
+    if (status_.ok() && !s.ok()) status_ = s;
+  }
+
+  std::string base_path_;
+  DiskTreeOptions options_;
+  std::unique_ptr<storage::PagedFile> node_file_;
+  std::unique_ptr<storage::PagedFile> occ_file_;
+  std::unique_ptr<storage::PagedFile> label_file_;
+  std::unique_ptr<storage::BufferPool> nodes_;
+  std::unique_ptr<storage::BufferPool> occs_;
+  std::unique_ptr<storage::BufferPool> labels_;
+  std::uint64_t num_nodes_ = 0;
+  std::uint64_t num_occs_ = 0;
+  std::uint64_t num_label_symbols_ = 0;
+  bool finalized_ = false;
+  Status status_;
+};
+
+/// Read-only TreeView over a disk tree bundle.
+class DiskSuffixTree : public TreeView {
+ public:
+  static StatusOr<std::unique_ptr<DiskSuffixTree>> Open(
+      const std::string& base_path, DiskTreeOptions options = {});
+
+  // --- TreeView ---
+  NodeId Root() const override { return 0; }
+  void GetChildren(NodeId node, Children* out) const override;
+  void GetOccurrences(NodeId node,
+                      std::vector<OccurrenceRec>* out) const override;
+  std::uint32_t SubtreeOccCount(NodeId node) const override;
+  Pos MaxRun(NodeId node) const override;
+  std::uint64_t NumNodes() const override { return num_nodes_; }
+  std::uint64_t NumOccurrences() const override { return num_occs_; }
+  std::uint64_t NumLabelSymbols() const override {
+    return num_label_symbols_;
+  }
+  std::uint64_t SizeBytes() const override;
+
+  /// Aggregate buffer-pool statistics across the three region pools.
+  storage::BufferPool::Stats PoolStats() const;
+
+ private:
+  DiskSuffixTree() = default;
+
+  std::string base_path_;
+  std::unique_ptr<storage::PagedFile> node_file_;
+  std::unique_ptr<storage::PagedFile> occ_file_;
+  std::unique_ptr<storage::PagedFile> label_file_;
+  // Pools are mutable: reads fault pages in.
+  mutable std::unique_ptr<storage::BufferPool> nodes_;
+  mutable std::unique_ptr<storage::BufferPool> occs_;
+  mutable std::unique_ptr<storage::BufferPool> labels_;
+  std::uint64_t num_nodes_ = 0;
+  std::uint64_t num_occs_ = 0;
+  std::uint64_t num_label_symbols_ = 0;
+};
+
+/// Serializes any TreeView to a disk bundle at `base_path`.
+Status WriteTreeToDisk(const TreeView& view, const std::string& base_path,
+                       DiskTreeOptions options = {});
+
+/// Deletes the files of a disk tree bundle (best-effort).
+void RemoveDiskTree(const std::string& base_path);
+
+/// Build configuration for the batched, merge-based disk construction
+/// (paper Section 4.1: "a series of binary merges of suffix trees of
+/// increasing size").
+struct DiskBuildOptions {
+  BuildOptions build;
+  /// Sequences per in-memory batch tree before it is spilled to disk.
+  std::size_t batch_sequences = 64;
+  DiskTreeOptions tree = {};
+};
+
+/// Builds a disk tree over all sequences of `db`: batches are built in
+/// memory, spilled, then pairwise-merged on disk until one tree remains at
+/// `base_path`.
+StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
+    const SymbolDatabase& db, const std::string& base_path,
+    DiskBuildOptions options = {});
+
+}  // namespace tswarp::suffixtree
+
+#endif  // TSWARP_SUFFIXTREE_DISK_TREE_H_

@@ -1,0 +1,63 @@
+#include "suffixtree/dot_export.h"
+
+#include <deque>
+#include <sstream>
+
+namespace tswarp::suffixtree {
+
+std::string ToDot(const TreeView& view, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph suffixtree {\n"
+      << "  node [shape=circle, fontsize=10];\n";
+  auto format = options.symbol_formatter
+                    ? options.symbol_formatter
+                    : [](Symbol s) { return std::to_string(s); };
+
+  std::deque<NodeId> queue = {view.Root()};
+  std::size_t emitted = 0;
+  Children children;
+  std::vector<OccurrenceRec> occs;
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    if (options.max_nodes != 0 && emitted >= options.max_nodes) {
+      out << "  n" << node << " [label=\"...\", shape=plaintext];\n";
+      continue;
+    }
+    ++emitted;
+
+    std::string annotation;
+    if (options.show_occurrences) {
+      occs.clear();
+      view.GetOccurrences(node, &occs);
+      for (const OccurrenceRec& o : occs) {
+        annotation += "\\n(" + std::to_string(o.seq) + "," +
+                      std::to_string(o.pos) + ")";
+      }
+    }
+    out << "  n" << node << " [label=\"" << node << annotation << "\"";
+    if (!annotation.empty()) out << ", shape=doublecircle";
+    out << "];\n";
+
+    view.GetChildren(node, &children);
+    for (const Children::Edge& e : children.edges) {
+      std::string label;
+      const std::span<const Symbol> symbols = children.Label(e);
+      for (std::size_t i = 0; i < symbols.size(); ++i) {
+        if (i > 0) label += " ";
+        if (i == 8 && symbols.size() > 10) {
+          label += "... +" + std::to_string(symbols.size() - 8);
+          break;
+        }
+        label += format(symbols[i]);
+      }
+      out << "  n" << node << " -> n" << e.child << " [label=\"" << label
+          << "\"];\n";
+      queue.push_back(e.child);
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tswarp::suffixtree

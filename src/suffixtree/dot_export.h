@@ -1,0 +1,30 @@
+#ifndef TSWARP_SUFFIXTREE_DOT_EXPORT_H_
+#define TSWARP_SUFFIXTREE_DOT_EXPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::suffixtree {
+
+/// Options for Graphviz export.
+struct DotOptions {
+  /// Formats one label symbol; defaults to the integer value.
+  std::function<std::string(Symbol)> symbol_formatter;
+
+  /// Cap on emitted nodes (breadth-first); 0 = unlimited. Big trees make
+  /// Graphviz unhappy, so default to a small window.
+  std::size_t max_nodes = 256;
+
+  /// Include occurrence (seq, pos) annotations on nodes.
+  bool show_occurrences = true;
+};
+
+/// Renders a suffix tree as a Graphviz digraph (for debugging and docs).
+std::string ToDot(const TreeView& view, const DotOptions& options = {});
+
+}  // namespace tswarp::suffixtree
+
+#endif  // TSWARP_SUFFIXTREE_DOT_EXPORT_H_

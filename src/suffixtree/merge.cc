@@ -1,0 +1,174 @@
+#include "suffixtree/merge.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tswarp::suffixtree {
+namespace {
+
+/// Recursive merge machinery. Each recursion frame owns its Children
+/// buffers; label spans passed down the recursion point into a live
+/// ancestor frame.
+class Merger {
+ public:
+  Merger(const TreeView& a, const TreeView& b, TreeSink* out)
+      : a_(a), b_(b), out_(out) {}
+
+  void Run() {
+    const NodeId root = out_->AddNode(kNilNode, {});
+    MergeNodes(a_.Root(), b_.Root(), root);
+    out_->Finalize();
+  }
+
+ private:
+  void CopyOccurrences(const TreeView& v, NodeId from, NodeId to) {
+    occ_buf_.clear();
+    v.GetOccurrences(from, &occ_buf_);
+    for (const OccurrenceRec& o : occ_buf_) out_->AddOccurrence(to, o);
+  }
+
+  /// Copies the subtree of `node` (in `v`) under `out_parent`, where the
+  /// edge into `node` still has `label` pending.
+  void CopySubtree(const TreeView& v, std::span<const Symbol> label,
+                   NodeId node, NodeId out_parent) {
+    const NodeId m = out_->AddNode(out_parent, label);
+    CopyOccurrences(v, node, m);
+    Children children;
+    v.GetChildren(node, &children);
+    for (const Children::Edge& e : children.edges) {
+      CopySubtree(v, children.Label(e), e.child, m);
+    }
+  }
+
+  /// Merges two *nodes* (both positions are exactly at a node). The output
+  /// node `on` already exists; this fills its occurrences and children.
+  void MergeNodes(NodeId na, NodeId nb, NodeId on) {
+    CopyOccurrences(a_, na, on);
+    CopyOccurrences(b_, nb, on);
+    Children ca, cb;
+    a_.GetChildren(na, &ca);
+    b_.GetChildren(nb, &cb);
+    std::vector<bool> b_used(cb.edges.size(), false);
+    for (const Children::Edge& ea : ca.edges) {
+      const Symbol sa = ca.FirstSymbol(ea);
+      std::size_t match = cb.edges.size();
+      for (std::size_t i = 0; i < cb.edges.size(); ++i) {
+        if (!b_used[i] && cb.FirstSymbol(cb.edges[i]) == sa) {
+          match = i;
+          break;
+        }
+      }
+      if (match == cb.edges.size()) {
+        CopySubtree(a_, ca.Label(ea), ea.child, on);
+      } else {
+        b_used[match] = true;
+        const Children::Edge& eb = cb.edges[match];
+        MergeEdges(ca.Label(ea), ea.child, cb.Label(eb), eb.child, on);
+      }
+    }
+    for (std::size_t i = 0; i < cb.edges.size(); ++i) {
+      if (!b_used[i]) {
+        CopySubtree(b_, cb.Label(cb.edges[i]), cb.edges[i].child, on);
+      }
+    }
+  }
+
+  /// Merges two edges with equal first symbols under output node `on`.
+  void MergeEdges(std::span<const Symbol> la, NodeId child_a,
+                  std::span<const Symbol> lb, NodeId child_b, NodeId on) {
+    std::size_t k = 0;
+    const std::size_t limit = std::min(la.size(), lb.size());
+    while (k < limit && la[k] == lb[k]) ++k;
+    TSW_DCHECK(k >= 1);
+    if (k == la.size() && k == lb.size()) {
+      const NodeId m = out_->AddNode(on, la);
+      MergeNodes(child_a, child_b, m);
+    } else if (k == la.size()) {
+      // A reaches its node; B is still mid-edge with lb[k:] pending.
+      const NodeId m = out_->AddNode(on, la);
+      MergeNodeWithEdge(a_, child_a, b_, lb.subspan(k), child_b, m);
+    } else if (k == lb.size()) {
+      const NodeId m = out_->AddNode(on, lb);
+      MergeNodeWithEdge(b_, child_b, a_, la.subspan(k), child_a, m);
+    } else {
+      // Divergence strictly inside both edges: fresh branching node.
+      const NodeId m = out_->AddNode(on, la.subspan(0, k));
+      CopySubtree(a_, la.subspan(k), child_a, m);
+      CopySubtree(b_, lb.subspan(k), child_b, m);
+    }
+  }
+
+  /// Merges node `nv` of view `v` with a pending edge (rest -> child_w) of
+  /// view `w`, writing into existing output node `mo`.
+  void MergeNodeWithEdge(const TreeView& v, NodeId nv, const TreeView& w,
+                         std::span<const Symbol> rest, NodeId child_w,
+                         NodeId mo) {
+    CopyOccurrences(v, nv, mo);
+    Children cv;
+    v.GetChildren(nv, &cv);
+    bool matched = false;
+    for (const Children::Edge& e : cv.edges) {
+      if (!matched && cv.FirstSymbol(e) == rest.front()) {
+        matched = true;
+        // Careful with argument order: MergeEdges is symmetric in structure
+        // but binds its first edge to a_ and second to b_; dispatch on
+        // which view `v` actually is.
+        if (&v == &a_) {
+          MergeEdges(cv.Label(e), e.child, rest, child_w, mo);
+        } else {
+          MergeEdges(rest, child_w, cv.Label(e), e.child, mo);
+        }
+      } else {
+        CopySubtree(v, cv.Label(e), e.child, mo);
+      }
+    }
+    if (!matched) CopySubtree(w, rest, child_w, mo);
+  }
+
+  const TreeView& a_;
+  const TreeView& b_;
+  TreeSink* out_;
+  std::vector<OccurrenceRec> occ_buf_;
+};
+
+}  // namespace
+
+void MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out) {
+  TSW_CHECK(out != nullptr);
+  Merger(a, b, out).Run();
+}
+
+void CopyTree(const TreeView& view, TreeSink* sink) {
+  TSW_CHECK(sink != nullptr);
+  const NodeId root = sink->AddNode(kNilNode, {});
+  std::vector<OccurrenceRec> occ_buf;
+  view.GetOccurrences(view.Root(), &occ_buf);
+  for (const OccurrenceRec& o : occ_buf) sink->AddOccurrence(root, o);
+
+  // Explicit stack to copy arbitrarily deep trees.
+  struct Frame {
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<Frame> stack = {{view.Root(), root}};
+  Children children;
+  std::vector<OccurrenceRec> occs;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    view.GetChildren(f.src, &children);
+    for (const Children::Edge& e : children.edges) {
+      const NodeId m = sink->AddNode(f.dst, children.Label(e));
+      occs.clear();
+      view.GetOccurrences(e.child, &occs);
+      for (const OccurrenceRec& o : occs) sink->AddOccurrence(m, o);
+      stack.push_back({e.child, m});
+    }
+  }
+  sink->Finalize();
+}
+
+}  // namespace tswarp::suffixtree

@@ -1,0 +1,25 @@
+#ifndef TSWARP_SUFFIXTREE_MERGE_H_
+#define TSWARP_SUFFIXTREE_MERGE_H_
+
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::suffixtree {
+
+/// Merges two generalized suffix trees into `out` by synchronized pre-order
+/// traversal, combining the paths of common subsequences (the disk-based
+/// incremental construction of Bieganski et al. used by the paper,
+/// Section 4.1). The sources are only read through the TreeView interface,
+/// so disk-resident trees stream through their buffer pools; the output is
+/// written once through TreeSink.
+///
+/// Complexity O(|A| + |B|) tree operations plus the symbol comparisons on
+/// shared label prefixes. Finalize() is called on `out`.
+void MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out);
+
+/// Structural copy of `view` into `sink` (pre-order). Finalize() is called
+/// on `sink`. Used to serialize an in-memory tree to disk and vice versa.
+void CopyTree(const TreeView& view, TreeSink* sink);
+
+}  // namespace tswarp::suffixtree
+
+#endif  // TSWARP_SUFFIXTREE_MERGE_H_

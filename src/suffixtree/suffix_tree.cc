@@ -1,0 +1,255 @@
+#include "suffixtree/suffix_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tswarp::suffixtree {
+namespace {
+
+// Serialized record sizes; SizeBytes() reports the on-disk footprint so
+// in-memory and disk trees are comparable (Table 1 accounting).
+constexpr std::uint64_t kNodeRecordBytes = 32;
+constexpr std::uint64_t kOccRecordBytes = 16;
+constexpr std::uint64_t kLabelSymbolBytes = sizeof(Symbol);
+constexpr std::uint64_t kHeaderBytes = 64;
+
+std::uint64_t ChildKey(NodeId parent, Symbol s) {
+  return (static_cast<std::uint64_t>(parent) << 32) |
+         static_cast<std::uint32_t>(s);
+}
+
+}  // namespace
+
+SuffixTree::SuffixTree() {
+  nodes_.push_back(Node{});  // Root: id 0, empty label.
+}
+
+void SuffixTree::GetChildren(NodeId node, Children* out) const {
+  out->Clear();
+  TSW_DCHECK(node < nodes_.size());
+  for (NodeId c = nodes_[node].first_child; c != kNilNode;
+       c = nodes_[c].next_sibling) {
+    const Node& cn = nodes_[c];
+    const auto begin = static_cast<std::uint32_t>(out->label_pool.size());
+    out->label_pool.insert(out->label_pool.end(),
+                           label_pool_.begin() + cn.label_begin,
+                           label_pool_.begin() + cn.label_begin +
+                               cn.label_len);
+    out->edges.push_back({c, begin, cn.label_len});
+  }
+}
+
+void SuffixTree::GetOccurrences(NodeId node,
+                                std::vector<OccurrenceRec>* out) const {
+  TSW_DCHECK(node < nodes_.size());
+  for (std::uint32_t o = nodes_[node].first_occ; o != kNilOcc;
+       o = occurrences_[o].next) {
+    const Occ& occ = occurrences_[o];
+    out->push_back({occ.seq, occ.pos, occ.run});
+  }
+}
+
+std::uint32_t SuffixTree::SubtreeOccCount(NodeId node) const {
+  TSW_DCHECK(finalized_);
+  return nodes_[node].subtree_occ;
+}
+
+Pos SuffixTree::MaxRun(NodeId node) const {
+  TSW_DCHECK(finalized_);
+  return nodes_[node].max_run;
+}
+
+std::uint64_t SuffixTree::SizeBytes() const {
+  return kHeaderBytes + NumNodes() * kNodeRecordBytes +
+         NumOccurrences() * kOccRecordBytes +
+         NumLabelSymbols() * kLabelSymbolBytes;
+}
+
+NodeId SuffixTree::AddNode(NodeId parent, std::span<const Symbol> label) {
+  if (parent == kNilNode) {
+    // Root creation: the constructor already made it.
+    TSW_CHECK(nodes_.size() == 1 && occurrences_.empty());
+    return 0;
+  }
+  TSW_CHECK(parent < nodes_.size());
+  TSW_CHECK(!label.empty()) << "non-root edges need a non-empty label";
+  Node n;
+  n.label_begin = static_cast<std::uint32_t>(label_pool_.size());
+  n.label_len = static_cast<std::uint32_t>(label.size());
+  label_pool_.insert(label_pool_.end(), label.begin(), label.end());
+  n.next_sibling = nodes_[parent].first_child;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  nodes_[parent].first_child = id;
+  return id;
+}
+
+void SuffixTree::AddOccurrence(NodeId node, const OccurrenceRec& occ) {
+  TSW_CHECK(node < nodes_.size());
+  Occ o{occ.seq, occ.pos, occ.run, nodes_[node].first_occ};
+  nodes_[node].first_occ = static_cast<std::uint32_t>(occurrences_.size());
+  occurrences_.push_back(o);
+}
+
+void SuffixTree::Finalize() {
+  TSW_CHECK(!finalized_);
+  // Iterative post-order: push node twice; second visit folds children.
+  std::vector<std::pair<NodeId, bool>> stack;
+  stack.reserve(256);
+  stack.push_back({0, false});
+  while (!stack.empty()) {
+    auto [n, processed] = stack.back();
+    stack.pop_back();
+    if (!processed) {
+      stack.push_back({n, true});
+      for (NodeId c = nodes_[n].first_child; c != kNilNode;
+           c = nodes_[c].next_sibling) {
+        stack.push_back({c, false});
+      }
+      continue;
+    }
+    std::uint32_t count = 0;
+    Pos max_run = 0;
+    for (std::uint32_t o = nodes_[n].first_occ; o != kNilOcc;
+         o = occurrences_[o].next) {
+      ++count;
+      max_run = std::max(max_run, occurrences_[o].run);
+    }
+    for (NodeId c = nodes_[n].first_child; c != kNilNode;
+         c = nodes_[c].next_sibling) {
+      count += nodes_[c].subtree_occ;
+      max_run = std::max(max_run, nodes_[c].max_run);
+    }
+    nodes_[n].subtree_occ = count;
+    nodes_[n].max_run = max_run;
+  }
+  finalized_ = true;
+}
+
+SuffixTreeBuilder::SuffixTreeBuilder(const SymbolDatabase* db,
+                                     BuildOptions options)
+    : db_(db), options_(options) {
+  TSW_CHECK(db != nullptr);
+}
+
+NodeId SuffixTreeBuilder::FindChild(NodeId parent, Symbol s) const {
+  auto it = child_index_.find(ChildKey(parent, s));
+  return it == child_index_.end() ? kNilNode : it->second;
+}
+
+void SuffixTreeBuilder::LinkChild(NodeId parent, Symbol s, NodeId child) {
+  child_index_.emplace(ChildKey(parent, s), child);
+  // Sibling chaining is done by SuffixTree::AddNode for new nodes; for
+  // split nodes the chain is adjusted in place (see InsertSuffix).
+  (void)parent;
+  (void)child;
+}
+
+void SuffixTreeBuilder::InsertSequence(SeqId id) {
+  const SymbolSequence& s = db_->sequence(id);
+  const auto n = static_cast<Pos>(s.size());
+  Pos p = 0;
+  while (p < n) {
+    // One scan finds the run; all positions inside it share the symbol.
+    Pos run = 1;
+    while (p + run < n && s[p + run] == s[p]) ++run;
+    for (Pos q = p; q < p + run; ++q) {
+      const Pos suffix_len = n - q;
+      if (options_.min_suffix_length != 0 &&
+          suffix_len < options_.min_suffix_length) {
+        ++skipped_suffixes_;
+        continue;
+      }
+      if (options_.sparse && q != p) {
+        ++skipped_suffixes_;
+        continue;
+      }
+      InsertSuffix(id, q, run - (q - p));
+    }
+    p += run;
+  }
+}
+
+void SuffixTreeBuilder::InsertSuffix(SeqId id, Pos start, Pos run) {
+  std::span<const Symbol> sfx = db_->Suffix(id, start);
+  if (options_.max_suffix_length != 0 &&
+      sfx.size() > options_.max_suffix_length) {
+    sfx = sfx.subspan(0, options_.max_suffix_length);
+  }
+  ++stored_suffixes_;
+  const OccurrenceRec occ{id, start, run};
+  auto& nodes = tree_.nodes_;
+  auto& pool = tree_.label_pool_;
+
+  NodeId cur = 0;
+  std::size_t i = 0;
+  const std::size_t n = sfx.size();
+  while (true) {
+    if (i == n) {
+      tree_.AddOccurrence(cur, occ);
+      return;
+    }
+    const NodeId child = FindChild(cur, sfx[i]);
+    if (child == kNilNode) {
+      const NodeId leaf = tree_.AddNode(cur, sfx.subspan(i));
+      LinkChild(cur, sfx[i], leaf);
+      tree_.AddOccurrence(leaf, occ);
+      return;
+    }
+    const std::uint32_t lb = nodes[child].label_begin;
+    const std::uint32_t ll = nodes[child].label_len;
+    std::uint32_t j = 1;
+    while (j < ll && i + j < n && pool[lb + j] == sfx[i + j]) ++j;
+    if (j == ll) {
+      cur = child;
+      i += j;
+      continue;
+    }
+    // Split the edge above `child` at offset j. `child` keeps its identity
+    // (slot in the parent's sibling chain and its child-index key) and
+    // becomes the upper split node; a fresh node takes over the deep part.
+    const auto deep = static_cast<NodeId>(nodes.size());
+    SuffixTree::Node deep_node;
+    deep_node.label_begin = lb + j;
+    deep_node.label_len = ll - j;
+    deep_node.first_child = nodes[child].first_child;
+    deep_node.first_occ = nodes[child].first_occ;
+    deep_node.next_sibling = kNilNode;
+    nodes.push_back(deep_node);
+    // Re-key the grandchildren from `child` to `deep`.
+    for (NodeId gc = deep_node.first_child; gc != kNilNode;
+         gc = nodes[gc].next_sibling) {
+      const Symbol gs = pool[nodes[gc].label_begin];
+      child_index_.erase(ChildKey(child, gs));
+      child_index_.emplace(ChildKey(deep, gs), gc);
+    }
+    nodes[child].label_len = j;
+    nodes[child].first_child = deep;
+    nodes[child].first_occ = SuffixTree::kNilOcc;
+    child_index_.emplace(ChildKey(child, pool[lb + j]), deep);
+
+    if (i + j == n) {
+      tree_.AddOccurrence(child, occ);
+      return;
+    }
+    const NodeId leaf = tree_.AddNode(child, sfx.subspan(i + j));
+    LinkChild(child, sfx[i + j], leaf);
+    tree_.AddOccurrence(leaf, occ);
+    return;
+  }
+}
+
+SuffixTree SuffixTreeBuilder::Build() {
+  child_index_.clear();
+  tree_.Finalize();
+  return std::move(tree_);
+}
+
+SuffixTree BuildSuffixTree(const SymbolDatabase& db, BuildOptions options) {
+  SuffixTreeBuilder builder(&db, options);
+  for (SeqId id = 0; id < db.size(); ++id) builder.InsertSequence(id);
+  return builder.Build();
+}
+
+}  // namespace tswarp::suffixtree

@@ -1,0 +1,18 @@
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::suffixtree {
+
+void TreeView::CollectSubtreeOccurrences(
+    NodeId node, std::vector<OccurrenceRec>* out) const {
+  std::vector<NodeId> stack = {node};
+  Children children;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    GetOccurrences(n, out);
+    GetChildren(n, &children);
+    for (const Children::Edge& e : children.edges) stack.push_back(e.child);
+  }
+}
+
+}  // namespace tswarp::suffixtree

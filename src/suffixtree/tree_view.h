@@ -1,0 +1,117 @@
+#ifndef TSWARP_SUFFIXTREE_TREE_VIEW_H_
+#define TSWARP_SUFFIXTREE_TREE_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tswarp::suffixtree {
+
+/// Node handle inside a TreeView. Dense ids; kNilNode marks "none".
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNilNode = 0xFFFFFFFFu;
+
+/// One stored suffix: sequence `seq`, starting position `pos`, and the
+/// length `run` of the run of equal symbols starting at `pos` (1 for dense
+/// trees' bookkeeping; > 1 values matter only for sparse trees, where the
+/// occurrence also represents the non-stored suffixes pos+1 .. pos+run-1).
+struct OccurrenceRec {
+  SeqId seq;
+  Pos pos;
+  Pos run;
+
+  friend bool operator==(const OccurrenceRec&, const OccurrenceRec&) = default;
+};
+
+/// Children of one node, with edge-label symbols gathered into a shared
+/// pool to avoid per-edge allocations.
+struct Children {
+  struct Edge {
+    NodeId child;
+    std::uint32_t label_begin;  // Offset into label_pool.
+    std::uint32_t label_len;    // >= 1 for non-root edges.
+  };
+
+  std::vector<Symbol> label_pool;
+  std::vector<Edge> edges;
+
+  void Clear() {
+    label_pool.clear();
+    edges.clear();
+  }
+
+  std::span<const Symbol> Label(const Edge& e) const {
+    return std::span<const Symbol>(label_pool.data() + e.label_begin,
+                                   e.label_len);
+  }
+
+  Symbol FirstSymbol(const Edge& e) const { return label_pool[e.label_begin]; }
+};
+
+/// Read-only interface over a generalized suffix tree, implemented by the
+/// in-memory SuffixTree and the disk-backed DiskSuffixTree. The similarity
+/// searchers, the merge algorithm, and the serializer are all written
+/// against this interface.
+class TreeView {
+ public:
+  virtual ~TreeView() = default;
+
+  virtual NodeId Root() const = 0;
+
+  /// Fills `out` (cleared first) with the children of `node` and their edge
+  /// labels.
+  virtual void GetChildren(NodeId node, Children* out) const = 0;
+
+  /// Appends the occurrences attached to `node` (suffixes that end exactly
+  /// at this node) to `out`.
+  virtual void GetOccurrences(NodeId node,
+                              std::vector<OccurrenceRec>* out) const = 0;
+
+  /// Number of occurrences in the subtree rooted at `node` (computed at
+  /// finalize time).
+  virtual std::uint32_t SubtreeOccCount(NodeId node) const = 0;
+
+  /// Maximum `run` value over all occurrences in the subtree of `node`
+  /// (finalize-time stat). Used by the sparse searcher to discount the
+  /// Theorem-1 pruning bound so non-stored suffixes are never dismissed.
+  virtual Pos MaxRun(NodeId node) const = 0;
+
+  virtual std::uint64_t NumNodes() const = 0;
+  virtual std::uint64_t NumOccurrences() const = 0;
+
+  /// Total label symbols stored by the tree (materialized edge labels).
+  virtual std::uint64_t NumLabelSymbols() const = 0;
+
+  /// Index size in bytes: node records + occurrence records + materialized
+  /// edge labels, matching the serialized footprint.
+  virtual std::uint64_t SizeBytes() const = 0;
+
+  /// DFS helper: appends every occurrence in the subtree of `node`.
+  void CollectSubtreeOccurrences(NodeId node,
+                                 std::vector<OccurrenceRec>* out) const;
+};
+
+/// Write interface for producing a suffix tree node-by-node; implemented by
+/// the in-memory tree and the disk writer. Used by the merge algorithm and
+/// the serializer.
+class TreeSink {
+ public:
+  virtual ~TreeSink() = default;
+
+  /// Adds a node under `parent` with the given edge label (copied). Pass
+  /// kNilNode as parent to create the root (label ignored, must be first).
+  virtual NodeId AddNode(NodeId parent, std::span<const Symbol> label) = 0;
+
+  /// Attaches an occurrence to an existing node.
+  virtual void AddOccurrence(NodeId node, const OccurrenceRec& occ) = 0;
+
+  /// Computes subtree statistics; must be called exactly once, after all
+  /// nodes and occurrences are added.
+  virtual void Finalize() = 0;
+};
+
+}  // namespace tswarp::suffixtree
+
+#endif  // TSWARP_SUFFIXTREE_TREE_VIEW_H_

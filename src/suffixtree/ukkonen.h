@@ -1,0 +1,27 @@
+#ifndef TSWARP_SUFFIXTREE_UKKONEN_H_
+#define TSWARP_SUFFIXTREE_UKKONEN_H_
+
+#include "suffixtree/suffix_tree.h"
+#include "suffixtree/symbol_database.h"
+
+namespace tswarp::suffixtree {
+
+/// Builds the suffix tree of a single sequence in O(n) time with Ukkonen's
+/// algorithm (suffix links + active point). Produces exactly the same tree
+/// as suffix-by-suffix insertion, including occurrence records for every
+/// suffix, but in linear instead of O(n * height) time.
+///
+/// Internally the sequence is extended with a unique terminator so every
+/// suffix ends at a leaf; the terminator is stripped during a final
+/// compaction pass (suffixes that are prefixes of longer suffixes become
+/// occurrences at internal nodes, matching the insertion builder's
+/// representation).
+///
+/// The per-sequence Ukkonen trees plus MergeTrees() realize the paper's
+/// construction pipeline in its purest form: linear-time per-sequence
+/// builds followed by a series of binary merges (Section 4.1).
+SuffixTree BuildSuffixTreeUkkonen(const SymbolDatabase& db, SeqId id);
+
+}  // namespace tswarp::suffixtree
+
+#endif  // TSWARP_SUFFIXTREE_UKKONEN_H_

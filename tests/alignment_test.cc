@@ -1,0 +1,102 @@
+#include "dtw/alignment.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dtw/base.h"
+#include "dtw/dtw.h"
+
+namespace tswarp::dtw {
+namespace {
+
+/// Properties every legal warping path must satisfy (paper Section 3).
+void CheckPathProperties(const std::vector<Value>& a,
+                         const std::vector<Value>& b,
+                         const Alignment& alignment) {
+  ASSERT_FALSE(alignment.path.empty());
+  // Endpoints.
+  EXPECT_EQ(alignment.path.front(), (AlignmentStep{0, 0}));
+  EXPECT_EQ(alignment.path.back(),
+            (AlignmentStep{static_cast<Pos>(a.size() - 1),
+                           static_cast<Pos>(b.size() - 1)}));
+  // Monotone continuous steps.
+  for (std::size_t i = 1; i < alignment.path.size(); ++i) {
+    const auto& prev = alignment.path[i - 1];
+    const auto& cur = alignment.path[i];
+    const int dx = static_cast<int>(cur.a_index) -
+                   static_cast<int>(prev.a_index);
+    const int dy = static_cast<int>(cur.b_index) -
+                   static_cast<int>(prev.b_index);
+    EXPECT_TRUE((dx == 0 || dx == 1) && (dy == 0 || dy == 1) &&
+                (dx + dy >= 1))
+        << "illegal step at " << i;
+  }
+  // Path cost equals the reported distance.
+  Value total = 0.0;
+  for (const AlignmentStep& s : alignment.path) {
+    total += BaseDistance(a[s.a_index], b[s.b_index]);
+  }
+  EXPECT_NEAR(total, alignment.distance, 1e-9);
+  // And the reported distance is the DTW distance.
+  EXPECT_NEAR(alignment.distance, DtwDistance(a, b), 1e-9);
+}
+
+TEST(AlignmentTest, PaperFigure1) {
+  const std::vector<Value> s3 = {3, 4, 3};
+  const std::vector<Value> s4 = {4, 5, 6, 7, 6, 6};
+  const Alignment alignment = DtwAlign(s3, s4);
+  EXPECT_DOUBLE_EQ(alignment.distance, 12.0);
+  CheckPathProperties(s3, s4, alignment);
+}
+
+TEST(AlignmentTest, IdenticalSequencesAlignDiagonally) {
+  const std::vector<Value> a = {1, 3, 2, 5};
+  const Alignment alignment = DtwAlign(a, a);
+  EXPECT_DOUBLE_EQ(alignment.distance, 0.0);
+  ASSERT_EQ(alignment.path.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(alignment.path[i],
+              (AlignmentStep{static_cast<Pos>(i), static_cast<Pos>(i)}));
+  }
+}
+
+TEST(AlignmentTest, StretchedCopyMapsDuplicates) {
+  // Paper introduction: duplicating every element of S2 yields S1.
+  const std::vector<Value> s1 = {20, 20, 21, 21, 20, 20, 23, 23};
+  const std::vector<Value> s2 = {20, 21, 20, 23};
+  const Alignment alignment = DtwAlign(s2, s1);
+  EXPECT_DOUBLE_EQ(alignment.distance, 0.0);
+  CheckPathProperties(s2, s1, alignment);
+  // Every s1 element maps to an s2 element of equal value.
+  for (const AlignmentStep& s : alignment.path) {
+    EXPECT_DOUBLE_EQ(s2[s.a_index], s1[s.b_index]);
+  }
+}
+
+TEST(AlignmentTest, RandomPathsAreValid) {
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> a, b;
+    const int la = static_cast<int>(rng.UniformInt(1, 12));
+    const int lb = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(0, 10));
+    for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(0, 10));
+    CheckPathProperties(a, b, DtwAlign(a, b));
+  }
+}
+
+TEST(AlignmentTest, SingleElementPaths) {
+  const std::vector<Value> a = {5};
+  const std::vector<Value> b = {1, 2, 3};
+  const Alignment alignment = DtwAlign(a, b);
+  EXPECT_DOUBLE_EQ(alignment.distance, 4 + 3 + 2);
+  ASSERT_EQ(alignment.path.size(), 3u);
+  for (const AlignmentStep& s : alignment.path) {
+    EXPECT_EQ(s.a_index, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tswarp::dtw

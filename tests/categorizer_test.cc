@@ -1,0 +1,219 @@
+#include "categorize/categorizer.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+
+namespace tswarp::categorize {
+namespace {
+
+std::vector<Value> UniformValues(std::size_t n, std::uint64_t seed,
+                                 Value lo = 0.0, Value hi = 100.0) {
+  Rng rng(seed);
+  std::vector<Value> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.Uniform(lo, hi));
+  return v;
+}
+
+TEST(AlphabetTest, FromBoundariesValidation) {
+  EXPECT_FALSE(Alphabet::FromBoundaries({1.0}).ok());
+  EXPECT_FALSE(Alphabet::FromBoundaries({2.0, 1.0}).ok());
+  EXPECT_FALSE(Alphabet::FromBoundaries({1.0, 1.0, 2.0}).ok());
+  EXPECT_TRUE(Alphabet::FromBoundaries({0.0, 1.0, 2.0}).ok());
+}
+
+TEST(AlphabetTest, ToSymbolRespectsHalfOpenIntervals) {
+  auto a = Alphabet::FromBoundaries({0.0, 1.0, 2.0, 3.0}).value();
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.ToSymbol(0.0), 0);
+  EXPECT_EQ(a.ToSymbol(0.99), 0);
+  EXPECT_EQ(a.ToSymbol(1.0), 1);
+  EXPECT_EQ(a.ToSymbol(2.5), 2);
+  // Clamping outside the nominal range.
+  EXPECT_EQ(a.ToSymbol(-5.0), 0);
+  EXPECT_EQ(a.ToSymbol(3.0), 2);
+  EXPECT_EQ(a.ToSymbol(99.0), 2);
+}
+
+TEST(AlphabetTest, PaperSection5Example) {
+  // Paper: C1 = [0.1, 3.9], C2 = [4.0, 10.0];
+  // S7 = <5.27, 2.56, 3.85> -> <C2, C1, C1>.
+  auto a = Alphabet::FromBoundaries({0.1, 3.95, 10.0}).value();
+  EXPECT_EQ(a.ToSymbol(5.27), 1);
+  EXPECT_EQ(a.ToSymbol(2.56), 0);
+  EXPECT_EQ(a.ToSymbol(3.85), 0);
+}
+
+TEST(AlphabetTest, FitValueTightensToObservedMinMax) {
+  auto a = Alphabet::FromBoundaries({0.0, 10.0, 20.0}).value();
+  a.FitValue(3.0);
+  a.FitValue(7.0);
+  a.FitValue(5.0);
+  EXPECT_DOUBLE_EQ(a.category(0).lb, 3.0);
+  EXPECT_DOUBLE_EQ(a.category(0).ub, 7.0);
+  EXPECT_TRUE(a.IsFitted(0));
+  EXPECT_FALSE(a.IsFitted(1));
+  // The untouched category keeps its nominal interval.
+  EXPECT_DOUBLE_EQ(a.category(1).lb, 10.0);
+  EXPECT_DOUBLE_EQ(a.category(1).ub, 20.0);
+}
+
+TEST(EqualLengthTest, IntervalsHaveEqualWidth) {
+  const std::vector<Value> values = UniformValues(5000, 1);
+  auto a = BuildEqualLength(values, 10).value();
+  ASSERT_EQ(a.size(), 10u);
+  const auto b = a.boundaries();
+  const Value width = b[1] - b[0];
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    EXPECT_NEAR(b[i + 1] - b[i], width, 1e-9);
+  }
+}
+
+TEST(EqualLengthTest, CoversValueRange) {
+  const std::vector<Value> values = UniformValues(100, 2, -50, 75);
+  auto a = BuildEqualLength(values, 7).value();
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  EXPECT_DOUBLE_EQ(a.boundaries().front(), *lo);
+  EXPECT_DOUBLE_EQ(a.boundaries().back(), *hi);
+}
+
+TEST(EqualLengthTest, RejectsDegenerateRange) {
+  const std::vector<Value> values(10, 5.0);
+  EXPECT_FALSE(BuildEqualLength(values, 4).ok());
+  EXPECT_FALSE(BuildEqualLength({}, 4).ok());
+  EXPECT_FALSE(BuildEqualLength(values, 0).ok());
+}
+
+TEST(MaxEntropyTest, EqualFrequencies) {
+  const std::vector<Value> values = UniformValues(10000, 3);
+  auto a = BuildMaxEntropy(values, 8).value();
+  ASSERT_EQ(a.size(), 8u);
+  std::vector<std::size_t> counts(a.size(), 0);
+  for (Value v : values) ++counts[static_cast<std::size_t>(a.ToSymbol(v))];
+  for (std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0 / 8.0, 10000.0 * 0.02);
+  }
+}
+
+TEST(MaxEntropyTest, EntropyAtLeastEqualLength) {
+  // On a skewed distribution, ME must achieve at least the entropy of EL
+  // (it maximizes entropy by construction).
+  Rng rng(4);
+  std::vector<Value> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.LogNormal(1.0, 0.8));
+  }
+  for (std::size_t c : {4u, 16u, 64u}) {
+    auto me = BuildMaxEntropy(values, c).value();
+    auto el = BuildEqualLength(values, c).value();
+    EXPECT_GE(CategorizationEntropy(values, me) + 1e-6,
+              CategorizationEntropy(values, el))
+        << "c=" << c;
+    // And close to the theoretical maximum log(c).
+    EXPECT_GT(CategorizationEntropy(values, me),
+              0.95 * std::log(static_cast<double>(c)));
+  }
+}
+
+TEST(MaxEntropyTest, MergesDuplicateQuantiles) {
+  // Heavily repeated values force duplicate quantile boundaries.
+  std::vector<Value> values(1000, 5.0);
+  for (int i = 0; i < 10; ++i) values.push_back(static_cast<Value>(i));
+  auto a = BuildMaxEntropy(values, 16);
+  ASSERT_TRUE(a.ok());
+  EXPECT_LE(a->size(), 16u);
+  EXPECT_GE(a->size(), 1u);
+}
+
+TEST(KMeansTest, ProducesRequestedCategoriesOnSpreadData) {
+  const std::vector<Value> values = UniformValues(2000, 5);
+  auto a = BuildKMeans(values, 12, 32, 1).value();
+  EXPECT_GE(a.size(), 6u);
+  EXPECT_LE(a.size(), 12u);
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedClusters) {
+  Rng rng(6);
+  std::vector<Value> values;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 500; ++i) {
+      values.push_back(static_cast<Value>(c) * 100.0 + rng.Gaussian(0, 1));
+    }
+  }
+  auto a = BuildKMeans(values, 3, 32, 1).value();
+  ASSERT_EQ(a.size(), 3u);
+  // Every cluster maps to its own symbol.
+  EXPECT_EQ(a.ToSymbol(0.0), 0);
+  EXPECT_EQ(a.ToSymbol(100.0), 1);
+  EXPECT_EQ(a.ToSymbol(200.0), 2);
+}
+
+TEST(ConvertTest, RoundTripSymbolsContainValues) {
+  const std::vector<Value> values = UniformValues(500, 7);
+  auto a = BuildMaxEntropy(values, 10).value();
+  for (Value v : values) {
+    const Symbol s = a.ToSymbol(v);
+    // Nominal category interval must contain the value (before fitting,
+    // boundaries bound the data).
+    EXPECT_LE(a.category(s).lb, v + 1e-12);
+    EXPECT_GE(a.category(s).ub + 1e-9, v);
+  }
+}
+
+TEST(ConvertDatabaseTest, FittedIntervalsContainAllConvertedValues) {
+  datagen::StockOptions options;
+  options.num_sequences = 20;
+  options.avg_length = 60;
+  const seqdb::SequenceDatabase db = datagen::GenerateStocks(options);
+  const std::vector<Value> values = CollectValues(db);
+  auto alphabet = BuildMaxEntropy(values, 12).value();
+  const CategorizedDatabase converted = ConvertDatabase(db, &alphabet);
+  ASSERT_EQ(converted.size(), db.size());
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    ASSERT_EQ(converted.sequence(id).size(), s.size());
+    for (std::size_t p = 0; p < s.size(); ++p) {
+      const Symbol sym = converted.sequence(id)[p];
+      EXPECT_EQ(sym, alphabet.ToSymbol(s[p]));
+      // Paper 5.3: lb/ub are the min/max values found in the category.
+      EXPECT_LE(alphabet.category(sym).lb, s[p]);
+      EXPECT_GE(alphabet.category(sym).ub, s[p]);
+    }
+  }
+}
+
+TEST(ConvertDatabaseTest, FittedIntervalsAreMinMaxOfCategoryMembers) {
+  seqdb::SequenceDatabase db;
+  db.Add({1.0, 2.0, 11.0, 19.0});
+  db.Add({3.5, 12.0});
+  auto alphabet = Alphabet::FromBoundaries({0.0, 10.0, 20.0}).value();
+  ConvertDatabase(db, &alphabet);
+  EXPECT_DOUBLE_EQ(alphabet.category(0).lb, 1.0);
+  EXPECT_DOUBLE_EQ(alphabet.category(0).ub, 3.5);
+  EXPECT_DOUBLE_EQ(alphabet.category(1).lb, 11.0);
+  EXPECT_DOUBLE_EQ(alphabet.category(1).ub, 19.0);
+}
+
+TEST(BuildDispatchTest, AllMethodsWork) {
+  const std::vector<Value> values = UniformValues(300, 8);
+  for (Method m : {Method::kEqualLength, Method::kMaxEntropy,
+                   Method::kKMeans}) {
+    auto a = Build(m, values, 6, 1);
+    ASSERT_TRUE(a.ok()) << MethodToString(m);
+    EXPECT_GE(a->size(), 2u);
+  }
+}
+
+TEST(MethodToStringTest, Names) {
+  EXPECT_STREQ(MethodToString(Method::kEqualLength), "EL");
+  EXPECT_STREQ(MethodToString(Method::kMaxEntropy), "ME");
+  EXPECT_STREQ(MethodToString(Method::kKMeans), "KM");
+}
+
+}  // namespace
+}  // namespace tswarp::categorize

@@ -1,0 +1,89 @@
+#include "core/category_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+
+namespace tswarp::core {
+namespace {
+
+seqdb::SequenceDatabase TestDb() {
+  datagen::StockOptions options;
+  options.num_sequences = 25;
+  options.avg_length = 60;
+  options.seed = 3;
+  return datagen::GenerateStocks(options);
+}
+
+std::vector<seqdb::Sequence> TestQueries(
+    const seqdb::SequenceDatabase& db) {
+  datagen::QueryWorkloadOptions options;
+  options.num_queries = 4;
+  options.avg_length = 8;
+  return datagen::ExtractQueries(db, options);
+}
+
+TEST(CategorySelectionTest, PicksACandidate) {
+  const seqdb::SequenceDatabase db = TestDb();
+  CategorySelectionOptions options;
+  options.candidates = {4, 16, 64};
+  options.epsilon = 5.0;
+  auto result = SelectNumCategories(db, TestQueries(db), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->measured.size(), 3u);
+  bool best_found = false;
+  for (const CategoryCandidateCost& m : result->measured) {
+    EXPECT_GT(m.index_bytes, 0u);
+    EXPECT_GE(m.query_seconds, 0.0);
+    EXPECT_GE(m.combined, 0.0);
+    EXPECT_LE(m.combined, options.time_weight + options.space_weight);
+    if (m.num_categories == result->best_num_categories) best_found = true;
+  }
+  EXPECT_TRUE(best_found);
+}
+
+TEST(CategorySelectionTest, SpaceOnlyWeightPrefersFewestCategories) {
+  // With W_t = 0, the cost is the (normalized) index size, which grows
+  // with the category count — the smallest candidate must win.
+  const seqdb::SequenceDatabase db = TestDb();
+  CategorySelectionOptions options;
+  options.candidates = {4, 16, 64};
+  options.time_weight = 0.0;
+  options.space_weight = 1.0;
+  auto result = SelectNumCategories(db, TestQueries(db), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_num_categories, 4u);
+  // Index bytes must be increasing in the candidate count.
+  for (std::size_t i = 1; i < result->measured.size(); ++i) {
+    EXPECT_GE(result->measured[i].index_bytes,
+              result->measured[i - 1].index_bytes);
+  }
+}
+
+TEST(CategorySelectionTest, ValidatesInput) {
+  const seqdb::SequenceDatabase db = TestDb();
+  const auto queries = TestQueries(db);
+  CategorySelectionOptions options;
+  options.candidates.clear();
+  EXPECT_FALSE(SelectNumCategories(db, queries, options).ok());
+  options = {};
+  EXPECT_FALSE(SelectNumCategories(db, {}, options).ok());
+  options.kind = IndexKind::kSuffixTree;
+  EXPECT_FALSE(SelectNumCategories(db, queries, options).ok());
+}
+
+TEST(CategorySelectionTest, SkipsDegenerateCandidates) {
+  // A constant-valued database cannot be categorized at all: every
+  // candidate fails and the function reports it.
+  seqdb::SequenceDatabase flat;
+  flat.Add({5, 5, 5, 5});
+  CategorySelectionOptions options;
+  options.candidates = {2, 4};
+  const std::vector<seqdb::Sequence> queries = {{5, 5}};
+  auto result = SelectNumCategories(flat, queries, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tswarp::core

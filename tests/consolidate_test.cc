@@ -1,0 +1,123 @@
+#include "core/consolidate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "datagen/generators.h"
+
+namespace tswarp::core {
+namespace {
+
+TEST(ConsolidateTest, EmptyInput) {
+  EXPECT_TRUE(ConsolidateMatches({}).empty());
+}
+
+TEST(ConsolidateTest, SingleMatchPassesThrough) {
+  const std::vector<Match> in = {{0, 5, 3, 1.5}};
+  const auto out = ConsolidateMatches(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], in[0]);
+}
+
+TEST(ConsolidateTest, OverlappingWindowsKeepBest) {
+  const std::vector<Match> in = {
+      {0, 5, 4, 2.0},   // [5, 9)
+      {0, 6, 4, 0.5},   // [6, 10) overlaps -> best of group
+      {0, 8, 3, 1.0},   // [8, 11) overlaps
+  };
+  const auto out = ConsolidateMatches(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].start, 6u);
+  EXPECT_DOUBLE_EQ(out[0].distance, 0.5);
+}
+
+TEST(ConsolidateTest, DisjointWindowsStaySeparate) {
+  const std::vector<Match> in = {
+      {0, 0, 3, 1.0},   // [0, 3)
+      {0, 3, 2, 2.0},   // [3, 5): touching, not overlapping -> same group
+                        // only with max_gap >= 0? start <= group_end: 3 <= 3
+      {0, 10, 2, 0.1},  // Far away.
+      {1, 0, 3, 0.2},   // Other sequence.
+  };
+  const auto out = ConsolidateMatches(in);
+  // Window [3,5) starts exactly at the previous end: grouped (gap 0).
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[0].start, 0u);
+  EXPECT_EQ(out[1].start, 10u);
+  EXPECT_EQ(out[2].seq, 1u);
+}
+
+TEST(ConsolidateTest, MaxGapBridgesNearbyWindows) {
+  const std::vector<Match> in = {
+      {0, 0, 3, 1.0},   // [0, 3)
+      {0, 6, 3, 0.4},   // [6, 9): gap of 3.
+  };
+  EXPECT_EQ(ConsolidateMatches(in).size(), 2u);
+  ConsolidateOptions bridge;
+  bridge.max_gap = 3;
+  const auto out = ConsolidateMatches(in, bridge);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].distance, 0.4);
+}
+
+TEST(ConsolidateTest, TransitiveOverlapChains) {
+  // a overlaps b, b overlaps c, but a does not overlap c: one group.
+  const std::vector<Match> in = {
+      {0, 0, 5, 3.0},   // [0, 5)
+      {0, 4, 5, 2.0},   // [4, 9)
+      {0, 8, 5, 1.0},   // [8, 13)
+  };
+  const auto out = ConsolidateMatches(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].distance, 1.0);
+}
+
+TEST(ConsolidateTest, TieBreaksPreferEarlierShorter) {
+  const std::vector<Match> in = {
+      {0, 2, 5, 1.0},
+      {0, 1, 5, 1.0},
+      {0, 1, 3, 1.0},
+  };
+  const auto out = ConsolidateMatches(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].start, 1u);
+  EXPECT_EQ(out[0].len, 3u);
+}
+
+TEST(ConsolidateTest, RealSearchResultsShrinkToEventCount) {
+  // Plant one motif twice; the raw range result has many overlapping
+  // windows, the consolidated result has ~2 per sequence region.
+  datagen::RandomWalkOptions data;
+  data.num_sequences = 1;
+  data.avg_length = 120;
+  data.seed = 9;
+  seqdb::SequenceDatabase base = datagen::GenerateRandomWalks(data);
+  seqdb::Sequence s = base.sequence(0);
+  const std::vector<Value> motif = {50, 53, 51, 55, 52};
+  std::copy(motif.begin(), motif.end(), s.begin() + 20);
+  std::copy(motif.begin(), motif.end(), s.begin() + 80);
+  seqdb::SequenceDatabase db;
+  db.Add(std::move(s));
+
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 16;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  const auto raw = index->Search(motif, 4.0);
+  ASSERT_GT(raw.size(), 2u) << "expect overlapping windows";
+  const auto consolidated = ConsolidateMatches(raw);
+  EXPECT_LT(consolidated.size(), raw.size());
+  // Both planted sites survive.
+  bool site1 = false, site2 = false;
+  for (const Match& m : consolidated) {
+    if (m.start <= 20 && m.start + m.len > 20) site1 = true;
+    if (m.start <= 80 && m.start + m.len > 80) site2 = true;
+  }
+  EXPECT_TRUE(site1);
+  EXPECT_TRUE(site2);
+}
+
+}  // namespace
+}  // namespace tswarp::core

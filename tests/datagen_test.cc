@@ -1,0 +1,175 @@
+#include "datagen/generators.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace tswarp::datagen {
+namespace {
+
+TEST(RandomWalkTest, ShapeAndDeterminism) {
+  RandomWalkOptions options;
+  options.num_sequences = 30;
+  options.avg_length = 50;
+  options.length_jitter = 10;
+  options.seed = 99;
+  const seqdb::SequenceDatabase a = GenerateRandomWalks(options);
+  EXPECT_EQ(a.size(), 30u);
+  for (SeqId id = 0; id < a.size(); ++id) {
+    EXPECT_GE(a.sequence(id).size(), 40u);
+    EXPECT_LE(a.sequence(id).size(), 60u);
+  }
+  const seqdb::SequenceDatabase b = GenerateRandomWalks(options);
+  for (SeqId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.sequence(id), b.sequence(id)) << "same seed, same data";
+  }
+  options.seed = 100;
+  const seqdb::SequenceDatabase c = GenerateRandomWalks(options);
+  EXPECT_NE(a.sequence(0), c.sequence(0)) << "different seed, new data";
+}
+
+TEST(RandomWalkTest, StepsAreIncrements) {
+  RandomWalkOptions options;
+  options.num_sequences = 5;
+  options.avg_length = 100;
+  options.step_stddev = 1.0;
+  const seqdb::SequenceDatabase db = GenerateRandomWalks(options);
+  // S[p] - S[p-1] should look like N(0,1): bounded, mean near 0.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    for (std::size_t p = 1; p < s.size(); ++p) {
+      const double z = s[p] - s[p - 1];
+      EXPECT_LT(std::fabs(z), 6.0);
+      sum += z;
+      ++n;
+    }
+  }
+  EXPECT_LT(std::fabs(sum / static_cast<double>(n)), 0.3);
+}
+
+TEST(StockTest, MatchesPaperShape) {
+  StockOptions options;  // Defaults mirror the paper's data set.
+  const seqdb::SequenceDatabase db = GenerateStocks(options);
+  EXPECT_EQ(db.size(), 545u);
+  EXPECT_NEAR(db.AverageLength(), 232.0, 15.0);
+  // Prices stay positive.
+  const auto [lo, hi] = db.ValueRange();
+  EXPECT_GE(lo, options.min_price);
+  EXPECT_GT(hi, lo);
+  // All three price strata are populated (needed for the paper's
+  // 20/50/30 query stratification).
+  std::size_t low = 0, mid = 0, high = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const Value mean = db.MeanValue(id);
+    if (mean < 30.0) {
+      ++low;
+    } else if (mean <= 60.0) {
+      ++mid;
+    } else {
+      ++high;
+    }
+  }
+  EXPECT_GT(low, 30u);
+  EXPECT_GT(mid, 100u);
+  EXPECT_GT(high, 30u);
+}
+
+TEST(EcgTest, BeatsArePresent) {
+  EcgOptions options;
+  options.num_sequences = 3;
+  const seqdb::SequenceDatabase db = GenerateEcg(options);
+  EXPECT_EQ(db.size(), 3u);
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+    // Pulses push well above the baseline.
+    EXPECT_GT(*hi - *lo, options.pulse_amplitude * 0.5);
+  }
+}
+
+TEST(QueryWorkloadTest, LengthsAndCount) {
+  StockOptions stock_options;
+  stock_options.num_sequences = 100;
+  const seqdb::SequenceDatabase db = GenerateStocks(stock_options);
+  QueryWorkloadOptions options;
+  options.num_queries = 40;
+  options.avg_length = 20;
+  options.length_jitter = 4;
+  const auto queries = ExtractQueries(db, options);
+  ASSERT_EQ(queries.size(), 40u);
+  double total_len = 0;
+  for (const seqdb::Sequence& q : queries) {
+    EXPECT_GE(q.size(), 16u);
+    EXPECT_LE(q.size(), 24u);
+    total_len += static_cast<double>(q.size());
+  }
+  EXPECT_NEAR(total_len / 40.0, 20.0, 3.0);
+}
+
+TEST(QueryWorkloadTest, QueriesAreSubsequencesOfTheDatabase) {
+  StockOptions stock_options;
+  stock_options.num_sequences = 20;
+  stock_options.avg_length = 80;
+  const seqdb::SequenceDatabase db = GenerateStocks(stock_options);
+  QueryWorkloadOptions options;
+  options.num_queries = 10;
+  const auto queries = ExtractQueries(db, options);
+  for (const seqdb::Sequence& q : queries) {
+    bool found = false;
+    for (SeqId id = 0; id < db.size() && !found; ++id) {
+      const seqdb::Sequence& s = db.sequence(id);
+      if (q.size() > s.size()) continue;
+      for (std::size_t start = 0; start + q.size() <= s.size(); ++start) {
+        if (std::equal(q.begin(), q.end(), s.begin() +
+                                               static_cast<long>(start))) {
+          found = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "query is not a literal subsequence";
+  }
+}
+
+TEST(QueryWorkloadTest, StrataProportionsRoughlyHold) {
+  StockOptions stock_options;
+  const seqdb::SequenceDatabase db = GenerateStocks(stock_options);
+  QueryWorkloadOptions options;
+  options.num_queries = 400;
+  const auto queries = ExtractQueries(db, options);
+  std::size_t low = 0, mid = 0, high = 0;
+  for (const seqdb::Sequence& q : queries) {
+    const double mean = std::accumulate(q.begin(), q.end(), 0.0) /
+                        static_cast<double>(q.size());
+    if (mean < 30.0) {
+      ++low;
+    } else if (mean <= 60.0) {
+      ++mid;
+    } else {
+      ++high;
+    }
+  }
+  // Queries are drawn from sequences stratified by *sequence mean*; the
+  // query's own mean tracks it loosely. Wide tolerances.
+  EXPECT_NEAR(static_cast<double>(low) / 400.0, 0.2, 0.12);
+  EXPECT_NEAR(static_cast<double>(mid) / 400.0, 0.5, 0.15);
+  EXPECT_NEAR(static_cast<double>(high) / 400.0, 0.3, 0.15);
+}
+
+TEST(QueryWorkloadTest, Deterministic) {
+  StockOptions stock_options;
+  stock_options.num_sequences = 30;
+  const seqdb::SequenceDatabase db = GenerateStocks(stock_options);
+  QueryWorkloadOptions options;
+  options.num_queries = 12;
+  const auto a = ExtractQueries(db, options);
+  const auto b = ExtractQueries(db, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace tswarp::datagen

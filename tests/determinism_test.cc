@@ -1,0 +1,104 @@
+// Determinism guarantees: identical inputs (data seed, options, query)
+// must produce identical indexes and identical results, run to run — the
+// property that makes the benchmark tables reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "datagen/generators.h"
+#include "multivariate/multi_index.h"
+#include "test_util.h"
+
+namespace tswarp {
+namespace {
+
+TEST(DeterminismTest, IndexBuildsAreIdentical) {
+  datagen::StockOptions stock;
+  stock.num_sequences = 15;
+  stock.avg_length = 50;
+  const seqdb::SequenceDatabase db1 = datagen::GenerateStocks(stock);
+  const seqdb::SequenceDatabase db2 = datagen::GenerateStocks(stock);
+  for (core::IndexKind kind : {core::IndexKind::kSuffixTree,
+                               core::IndexKind::kCategorized,
+                               core::IndexKind::kSparse}) {
+    core::IndexOptions options;
+    options.kind = kind;
+    options.num_categories = 14;
+    auto a = core::Index::Build(&db1, options);
+    auto b = core::Index::Build(&db2, options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->build_info().num_nodes, b->build_info().num_nodes);
+    EXPECT_EQ(a->build_info().index_bytes, b->build_info().index_bytes);
+    EXPECT_EQ(a->build_info().stored_suffixes,
+              b->build_info().stored_suffixes);
+  }
+}
+
+TEST(DeterminismTest, RepeatedSearchesAreIdentical) {
+  datagen::RandomWalkOptions walk;
+  walk.num_sequences = 10;
+  walk.avg_length = 40;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(walk);
+  core::IndexOptions options;
+  options.kind = core::IndexKind::kSparse;
+  options.num_categories = 10;
+  auto index = core::Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  const std::vector<Value> q(db.sequence(4).begin(),
+                             db.sequence(4).begin() + 6);
+  const auto first = index->Search(q, 4.0);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    testutil::ExpectSameMatches(first, index->Search(q, 4.0), "repeat");
+  }
+  const auto knn_first = index->SearchKnn(q, 7);
+  const auto knn_again = index->SearchKnn(q, 7);
+  ASSERT_EQ(knn_first.size(), knn_again.size());
+  for (std::size_t i = 0; i < knn_first.size(); ++i) {
+    EXPECT_EQ(knn_first[i], knn_again[i]);
+    EXPECT_DOUBLE_EQ(knn_first[i].distance, knn_again[i].distance);
+  }
+}
+
+TEST(DeterminismTest, KMeansIsSeedStable) {
+  datagen::StockOptions stock;
+  stock.num_sequences = 10;
+  const seqdb::SequenceDatabase db = datagen::GenerateStocks(stock);
+  core::IndexOptions options;
+  options.kind = core::IndexKind::kSparse;
+  options.method = categorize::Method::kKMeans;
+  options.num_categories = 8;
+  options.seed = 99;
+  auto a = core::Index::Build(&db, options);
+  auto b = core::Index::Build(&db, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->build_info().index_bytes, b->build_info().index_bytes);
+}
+
+TEST(MultivariateEdgeTest, SingleElementSequences) {
+  mv::MultiSequenceDatabase db(2);
+  db.Add({1.0, 2.0});        // One element.
+  db.Add({5.0, 5.0, 6.0, 6.0});
+  auto index = mv::MultiIndex::Build(&db, {});
+  ASSERT_TRUE(index.ok()) << index.status();
+  const std::vector<Value> q = {1.0, 2.0};
+  const auto matches = index->Search(q, 1, 0.0);
+  ASSERT_GE(matches.size(), 1u);
+  EXPECT_EQ(matches[0].seq, 0u);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+}
+
+TEST(MultivariateEdgeTest, MatchesScanOnTinyGrid) {
+  mv::MultiSequenceDatabase db(2);
+  db.Add({0, 0, 1, 1, 2, 2, 3, 3});
+  db.Add({3, 3, 2, 2});
+  mv::MultiIndexOptions options;
+  options.categories_per_dim = 1;  // Single cell: filter admits all.
+  auto index = mv::MultiIndex::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  const std::vector<Value> q = {1, 1, 2, 2};
+  testutil::ExpectSameMatches(mv::MultiSeqScan(db, q, 2, 1.5),
+                              index->Search(q, 2, 1.5), "single cell");
+}
+
+}  // namespace
+}  // namespace tswarp

@@ -1,0 +1,66 @@
+#include "suffixtree/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "suffixtree/suffix_tree.h"
+#include "suffixtree/symbol_database.h"
+
+namespace tswarp::suffixtree {
+namespace {
+
+TEST(DotExportTest, EmitsValidDigraph) {
+  SymbolDatabase db;
+  db.Add({0, 1, 0, 2});
+  const SuffixTree tree = BuildSuffixTree(db);
+  const std::string dot = ToDot(tree);
+  EXPECT_NE(dot.find("digraph suffixtree {"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Every node appears; root is n0.
+  EXPECT_NE(dot.find("n0 ["), std::string::npos);
+  // Occurrence annotations are double circles.
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  // All 4 suffix occurrences are annotated.
+  for (const char* occ : {"(0,0)", "(0,1)", "(0,2)", "(0,3)"}) {
+    EXPECT_NE(dot.find(occ), std::string::npos) << occ;
+  }
+}
+
+TEST(DotExportTest, RespectsNodeCap) {
+  SymbolDatabase db;
+  SymbolSequence s;
+  for (int i = 0; i < 100; ++i) s.push_back(i % 7);
+  db.Add(std::move(s));
+  const SuffixTree tree = BuildSuffixTree(db);
+  DotOptions options;
+  options.max_nodes = 4;
+  const std::string dot = ToDot(tree, options);
+  EXPECT_NE(dot.find("\"...\""), std::string::npos)
+      << "cap placeholder expected";
+}
+
+TEST(DotExportTest, CustomSymbolFormatter) {
+  SymbolDatabase db;
+  db.Add({0, 1});
+  const SuffixTree tree = BuildSuffixTree(db);
+  DotOptions options;
+  options.symbol_formatter = [](Symbol s) {
+    return std::string(1, static_cast<char>('A' + s));
+  };
+  const std::string dot = ToDot(tree, options);
+  EXPECT_NE(dot.find("label=\"A"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"B"), std::string::npos);
+}
+
+TEST(DotExportTest, LongLabelsAreElided) {
+  SymbolDatabase db;
+  SymbolSequence s;
+  for (int i = 0; i < 40; ++i) s.push_back(i);  // One long leaf edge.
+  db.Add(std::move(s));
+  const SuffixTree tree = BuildSuffixTree(db);
+  const std::string dot = ToDot(tree);
+  EXPECT_NE(dot.find("... +"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tswarp::suffixtree

@@ -1,0 +1,173 @@
+// Boundary conditions across the whole stack: single-element sequences and
+// queries, epsilon 0, identical sequences, extreme categorization, and
+// degenerate databases.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "dtw/dtw.h"
+#include "test_util.h"
+
+namespace tswarp::core {
+namespace {
+
+TEST(EdgeCaseTest, SingleElementDatabaseAndQuery) {
+  seqdb::SequenceDatabase db;
+  db.Add({5.0});
+  for (IndexKind kind : {IndexKind::kSuffixTree, IndexKind::kCategorized,
+                         IndexKind::kSparse}) {
+    IndexOptions options;
+    options.kind = kind;
+    options.num_categories = 4;
+    auto index = Index::Build(&db, options);
+    if (!index.ok()) {
+      // Categorized builds legitimately fail on a degenerate value range
+      // (one distinct value cannot form two category boundaries).
+      EXPECT_NE(kind, IndexKind::kSuffixTree);
+      continue;
+    }
+    const std::vector<Value> q = {5.0};
+    const auto matches = index->Search(q, 0.0);
+    ASSERT_EQ(matches.size(), 1u) << IndexKindToString(kind);
+    EXPECT_EQ(matches[0].seq, 0u);
+    EXPECT_EQ(matches[0].len, 1u);
+    EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+    const std::vector<Value> far = {99.0};
+    EXPECT_TRUE(index->Search(far, 1.0).empty());
+  }
+}
+
+TEST(EdgeCaseTest, TwoDistinctValuesSuffice) {
+  seqdb::SequenceDatabase db;
+  db.Add({1.0, 2.0, 1.0, 2.0, 2.0});
+  for (IndexKind kind : {IndexKind::kSuffixTree, IndexKind::kCategorized,
+                         IndexKind::kSparse}) {
+    IndexOptions options;
+    options.kind = kind;
+    options.num_categories = 2;
+    auto index = Index::Build(&db, options);
+    ASSERT_TRUE(index.ok()) << IndexKindToString(kind);
+    const std::vector<Value> q = {1.0, 2.0};
+    testutil::ExpectSameMatches(SeqScan(db, q, 0.5),
+                                index->Search(q, 0.5),
+                                IndexKindToString(kind));
+  }
+}
+
+TEST(EdgeCaseTest, QueryLongerThanEverySequence) {
+  seqdb::SequenceDatabase db;
+  db.Add({3, 4});
+  db.Add({5});
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 2;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  // Query of length 6: warping can still match shorter subsequences.
+  const std::vector<Value> q = {3, 3, 3, 4, 4, 4};
+  testutil::ExpectSameMatches(SeqScan(db, q, 0.5), index->Search(q, 0.5),
+                              "long query");
+  // The whole S0 matches at distance 0 (elements repeated).
+  const auto matches = index->Search(q, 0.0);
+  bool whole = false;
+  for (const auto& m : matches) {
+    if (m.seq == 0 && m.start == 0 && m.len == 2) whole = true;
+  }
+  EXPECT_TRUE(whole);
+}
+
+TEST(EdgeCaseTest, ManyIdenticalSequences) {
+  seqdb::SequenceDatabase db;
+  for (int i = 0; i < 20; ++i) db.Add({7, 8, 9, 8, 7});
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 3;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  const std::vector<Value> q = {8, 9, 8};
+  const auto matches = index->Search(q, 0.0);
+  // Every copy contributes the same zero-distance windows.
+  std::vector<int> per_seq(20, 0);
+  for (const auto& m : matches) ++per_seq[m.seq];
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_EQ(per_seq[i], per_seq[0]) << "sequence " << i;
+  }
+  EXPECT_GT(per_seq[0], 0);
+  testutil::ExpectSameMatches(SeqScan(db, q, 0.0), matches, "identical");
+}
+
+TEST(EdgeCaseTest, NegativeValuesWork) {
+  seqdb::SequenceDatabase db;
+  db.Add({-10.5, -3.25, 0.0, 4.5, -8.0});
+  db.Add({-3.0, -3.5, -2.75});
+  for (IndexKind kind : {IndexKind::kSuffixTree, IndexKind::kCategorized,
+                         IndexKind::kSparse}) {
+    IndexOptions options;
+    options.kind = kind;
+    options.num_categories = 3;
+    auto index = Index::Build(&db, options);
+    ASSERT_TRUE(index.ok());
+    const std::vector<Value> q = {-3.25, -3.0};
+    testutil::ExpectSameMatches(SeqScan(db, q, 1.0), index->Search(q, 1.0),
+                                IndexKindToString(kind));
+  }
+}
+
+TEST(EdgeCaseTest, HugeEpsilonReturnsAllSubsequences) {
+  seqdb::SequenceDatabase db;
+  db.Add({1, 2, 3, 4});
+  db.Add({5, 6});
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 2;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  const std::vector<Value> q = {3.0};
+  const auto matches = index->Search(q, 1e9);
+  // 4+3+2+1 subsequences in S0, 2+1 in S1.
+  EXPECT_EQ(matches.size(), 10u + 3u);
+}
+
+TEST(EdgeCaseTest, OneCategoryStillExact) {
+  // A single category makes every lower-bound row 0 inside the value
+  // range: the filter admits everything and post-processing does all the
+  // work — slow but still exact.
+  seqdb::SequenceDatabase db;
+  db.Add({1, 5, 2, 8, 3});
+  db.Add({4, 4, 6});
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 1;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->build_info().num_categories, 1u);
+  const std::vector<Value> q = {5, 2};
+  testutil::ExpectSameMatches(SeqScan(db, q, 2.0), index->Search(q, 2.0),
+                              "one category");
+}
+
+TEST(EdgeCaseTest, MatchDistancesNeverExceedEpsilon) {
+  seqdb::SequenceDatabase db;
+  db.Add({10, 12, 11, 14, 13, 12, 15});
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 4;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  const std::vector<Value> q = {11, 13};
+  for (const Value eps : {0.0, 0.5, 2.0, 10.0}) {
+    for (const Match& m : index->Search(q, eps)) {
+      EXPECT_LE(m.distance, eps);
+      EXPECT_NEAR(m.distance,
+                  dtw::DtwDistance(q, db.Subsequence(m.seq, m.start,
+                                                     m.len)),
+                  1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tswarp::core

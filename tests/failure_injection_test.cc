@@ -1,0 +1,101 @@
+// Failure injection: corrupted / truncated disk bundles and fingerprints
+// must surface as clean Status errors, never as wrong answers or crashes.
+
+#include <filesystem>
+#include <cstring>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "datagen/generators.h"
+#include "suffixtree/disk_tree.h"
+#include "suffixtree/suffix_tree.h"
+
+namespace tswarp {
+namespace {
+
+class FailureInjectionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tswarp_inject_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteBundle(const std::string& base) {
+    suffixtree::SymbolDatabase db;
+    db.Add({1, 2, 1, 2, 3, 1});
+    db.Add({2, 3, 2, 1});
+    const suffixtree::SuffixTree tree = suffixtree::BuildSuffixTree(db);
+    ASSERT_TRUE(suffixtree::WriteTreeToDisk(tree, base).ok());
+  }
+
+  static void CorruptFile(const std::string& path, std::size_t offset,
+                          const char* junk) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(junk, static_cast<std::streamsize>(std::strlen(junk)));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FailureInjectionTest, CorruptMetaMagicRejected) {
+  WriteBundle(Path("t"));
+  CorruptFile(Path("t") + ".meta", 0, "XXXXXXXX");
+  auto tree = suffixtree::DiskSuffixTree::Open(Path("t"));
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, MissingRegionFileRejected) {
+  WriteBundle(Path("t"));
+  std::filesystem::remove(Path("t") + ".labels");
+  auto tree = suffixtree::DiskSuffixTree::Open(Path("t"));
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FailureInjectionTest, UnfinalizedMetaRejected) {
+  WriteBundle(Path("t"));
+  // Byte 12 is the `finalized` field (magic u64 + version u32).
+  const char zero[1] = {0};
+  std::fstream f(Path("t") + ".meta",
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(12);
+  f.write(zero, 1);
+  f.close();
+  auto tree = suffixtree::DiskSuffixTree::Open(Path("t"));
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, GarbageFingerprintRejected) {
+  datagen::RandomWalkOptions data;
+  data.num_sequences = 4;
+  data.avg_length = 20;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(data);
+  core::IndexOptions options;
+  options.kind = core::IndexKind::kSparse;
+  options.num_categories = 4;
+  options.disk_path = Path("idx");
+  ASSERT_TRUE(core::Index::Build(&db, options).ok());
+  CorruptFile(Path("idx") + ".index", 0, "garbage!");
+  auto reopened = core::Index::Open(&db, options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, EmptySymbolDatabaseBuildFails) {
+  suffixtree::SymbolDatabase empty;
+  auto tree = suffixtree::BuildDiskTree(empty, Path("e"));
+  EXPECT_FALSE(tree.ok());
+}
+
+}  // namespace
+}  // namespace tswarp

@@ -1,0 +1,108 @@
+// Persistence of disk-backed indexes: Build writes a fingerprint next to
+// the tree bundle; Open re-derives the categorizer deterministically and
+// reuses the bundle, returning identical answers without rebuilding.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+#include "test_util.h"
+
+namespace tswarp::core {
+namespace {
+
+class IndexPersistenceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tswarp_persist_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    datagen::RandomWalkOptions data;
+    data.num_sequences = 12;
+    data.avg_length = 40;
+    data.seed = 404;
+    db_ = datagen::GenerateRandomWalks(data);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  IndexOptions DiskOptions(const std::string& name) {
+    IndexOptions options;
+    options.kind = IndexKind::kSparse;
+    options.num_categories = 10;
+    options.disk_path = (dir_ / name).string();
+    options.disk_batch_sequences = 4;
+    return options;
+  }
+
+  std::filesystem::path dir_;
+  seqdb::SequenceDatabase db_;
+};
+
+TEST_F(IndexPersistenceTest, OpenReturnsIdenticalAnswers) {
+  const IndexOptions options = DiskOptions("a");
+  auto built = Index::Build(&db_, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto reopened = Index::Open(&db_, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->build_info().num_nodes,
+            built->build_info().num_nodes);
+  EXPECT_EQ(reopened->build_info().stored_suffixes,
+            built->build_info().stored_suffixes);
+  EXPECT_DOUBLE_EQ(reopened->build_info().compaction_ratio,
+                   built->build_info().compaction_ratio);
+
+  Rng rng(11);
+  for (int qi = 0; qi < 5; ++qi) {
+    std::vector<Value> q;
+    Value v = rng.Uniform(20, 80);
+    for (int i = 0; i < 4; ++i) {
+      q.push_back(v);
+      v += rng.Gaussian(0, 1);
+    }
+    const Value eps = rng.Uniform(0, 8);
+    testutil::ExpectSameMatches(built->Search(q, eps),
+                                reopened->Search(q, eps), "reopened");
+    testutil::ExpectSameMatches(SeqScan(db_, q, eps),
+                                reopened->Search(q, eps), "vs scan");
+  }
+}
+
+TEST_F(IndexPersistenceTest, OpenRejectsMissingBundle) {
+  auto reopened = Index::Open(&db_, DiskOptions("missing"));
+  EXPECT_FALSE(reopened.ok());
+}
+
+TEST_F(IndexPersistenceTest, OpenRejectsMemoryOnlyOptions) {
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  auto reopened = Index::Open(&db_, options);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexPersistenceTest, OpenRejectsChangedOptions) {
+  const IndexOptions options = DiskOptions("b");
+  ASSERT_TRUE(Index::Build(&db_, options).ok());
+  IndexOptions changed = options;
+  changed.num_categories = 20;
+  auto reopened = Index::Open(&db_, changed);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IndexPersistenceTest, OpenRejectsChangedDatabase) {
+  const IndexOptions options = DiskOptions("c");
+  ASSERT_TRUE(Index::Build(&db_, options).ok());
+  seqdb::SequenceDatabase other;
+  other.Add({1, 2, 3});
+  auto reopened = Index::Open(&other, options);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tswarp::core

@@ -1,0 +1,209 @@
+// Parameterized property sweeps: each instantiation checks one invariant
+// across a grid of parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "categorize/categorizer.h"
+#include "common/random.h"
+#include "core/index.h"
+#include "datagen/generators.h"
+#include "dtw/dtw.h"
+#include "dtw/warping_table.h"
+
+namespace tswarp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Banded DTW vs an independent banded reference.
+// ---------------------------------------------------------------------------
+
+Value ReferenceBandedDtw(const std::vector<Value>& a,
+                         const std::vector<Value>& b, Pos band) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<Value>> g(n, std::vector<Value>(m, kInfinity));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < m; ++y) {
+      const std::size_t diff = x > y ? x - y : y - x;
+      if (diff > band) continue;
+      const Value base = std::fabs(a[x] - b[y]);
+      Value best = kInfinity;
+      if (x == 0 && y == 0) {
+        best = 0.0;
+      } else {
+        if (x > 0 && y > 0) best = std::min(best, g[x - 1][y - 1]);
+        if (x > 0) best = std::min(best, g[x - 1][y]);
+        if (y > 0) best = std::min(best, g[x][y - 1]);
+      }
+      g[x][y] = base + best;
+    }
+  }
+  return g[n - 1][m - 1];
+}
+
+class BandedDtwSweep : public testing::TestWithParam<Pos> {};
+
+TEST_P(BandedDtwSweep, MatchesIndependentReference) {
+  const Pos band = GetParam();
+  Rng rng(7000 + band);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Value> a, b;
+    const int la = static_cast<int>(rng.UniformInt(1, 12));
+    const int lb = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(0, 10));
+    for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(0, 10));
+    const Value expected = ReferenceBandedDtw(a, b, band);
+    const Value actual = dtw::DtwDistanceBanded(a, b, band);
+    if (std::isinf(expected)) {
+      EXPECT_TRUE(std::isinf(actual));
+    } else {
+      EXPECT_DOUBLE_EQ(actual, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, BandedDtwSweep,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 15u),
+                         [](const testing::TestParamInfo<Pos>& info) {
+                           return "band" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Categorizer invariants across (method, category count).
+// ---------------------------------------------------------------------------
+
+using CategorizerParam = std::tuple<categorize::Method, std::size_t>;
+
+class CategorizerSweep : public testing::TestWithParam<CategorizerParam> {};
+
+TEST_P(CategorizerSweep, CoverageEntropyAndContainment) {
+  const auto [method, c] = GetParam();
+  Rng rng(42);
+  std::vector<Value> values;
+  for (int i = 0; i < 4000; ++i) values.push_back(rng.LogNormal(3.0, 0.7));
+  auto alphabet_or = categorize::Build(method, values, c, 1);
+  ASSERT_TRUE(alphabet_or.ok());
+  const categorize::Alphabet& a = *alphabet_or;
+  // No more categories than requested; at least one.
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_LE(a.size(), c);
+  // Boundaries strictly increasing and spanning the data.
+  const auto b = a.boundaries();
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  EXPECT_LE(b.front(), *lo + 1e-9);
+  EXPECT_GE(b.back(), *hi - 1e-9);
+  // Every value lands in a category whose nominal interval contains it.
+  for (int i = 0; i < 200; ++i) {
+    const Value v = values[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(values.size()) - 1))];
+    const Symbol s = a.ToSymbol(v);
+    EXPECT_GE(v, a.category(s).lb - 1e-9);
+    EXPECT_LE(v, a.category(s).ub + 1e-9);
+  }
+  // Entropy never exceeds log(#categories).
+  EXPECT_LE(categorize::CategorizationEntropy(values, a),
+            std::log(static_cast<double>(a.size())) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CategorizerSweep,
+    testing::Combine(testing::Values(categorize::Method::kEqualLength,
+                                     categorize::Method::kMaxEntropy,
+                                     categorize::Method::kKMeans),
+                     testing::Values(2u, 5u, 17u, 64u, 256u)),
+    [](const testing::TestParamInfo<CategorizerParam>& info) {
+      return std::string(categorize::MethodToString(std::get<0>(
+                 info.param))) +
+             "_c" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sparse compaction across category counts.
+// ---------------------------------------------------------------------------
+
+class CompactionSweep : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompactionSweep, RatioMatchesDirectRunCount) {
+  const std::size_t c = GetParam();
+  datagen::StockOptions stock;
+  stock.num_sequences = 30;
+  stock.avg_length = 80;
+  const seqdb::SequenceDatabase db = datagen::GenerateStocks(stock);
+  core::IndexOptions options;
+  options.kind = core::IndexKind::kSparse;
+  options.num_categories = c;
+  auto index = core::Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+
+  // Recompute r directly from the categorized sequences.
+  const std::vector<Value> values = categorize::CollectValues(db);
+  auto alphabet = categorize::Build(categorize::Method::kMaxEntropy, values,
+                                    c, options.seed)
+                      .value();
+  std::size_t stored = 0;
+  std::size_t total = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const auto symbols = categorize::Convert(db.sequence(id), alphabet);
+    for (std::size_t p = 0; p < symbols.size(); ++p) {
+      ++total;
+      if (p == 0 || symbols[p] != symbols[p - 1]) ++stored;
+    }
+  }
+  EXPECT_EQ(index->build_info().stored_suffixes, stored);
+  EXPECT_NEAR(index->build_info().compaction_ratio,
+              static_cast<double>(total - stored) /
+                  static_cast<double>(total),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CompactionSweep,
+                         testing::Values(2u, 4u, 8u, 16u, 32u, 64u),
+                         [](const testing::TestParamInfo<std::size_t>& info) {
+                           return "c" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Lower-bound hierarchy D_tw-lb <= D_tw across interval widths.
+// ---------------------------------------------------------------------------
+
+class LowerBoundSweep : public testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundSweep, LbBelowExactAndTightensWithNarrowIntervals) {
+  const double width = static_cast<double>(GetParam()) / 10.0;
+  Rng rng(8000 + GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const int lq = static_cast<int>(rng.UniformInt(1, 8));
+    const int ls = static_cast<int>(rng.UniformInt(1, 8));
+    std::vector<Value> q, s;
+    std::vector<dtw::Interval> wide, narrow;
+    for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+    for (int i = 0; i < ls; ++i) {
+      const Value v = rng.Uniform(0, 10);
+      s.push_back(v);
+      wide.push_back({v - width, v + width});
+      narrow.push_back({v - width / 2, v + width / 2});
+    }
+    const Value exact = dtw::DtwDistance(q, s);
+    const Value lb_wide = dtw::DtwLowerBound(q, wide);
+    const Value lb_narrow = dtw::DtwLowerBound(q, narrow);
+    EXPECT_LE(lb_wide, exact + 1e-9);
+    EXPECT_LE(lb_narrow, exact + 1e-9);
+    // Narrower intervals give a tighter (larger) lower bound.
+    EXPECT_GE(lb_narrow, lb_wide - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LowerBoundSweep,
+                         testing::Values(0, 2, 5, 10, 30),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tswarp

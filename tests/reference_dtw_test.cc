@@ -1,0 +1,139 @@
+// Validates the DTW stack against an independently written textbook
+// implementation (full 2-D matrix, no sentinel tricks, no sharing). If the
+// WarpingTable recurrence drifted from Definition 2, every module above it
+// would inherit the bug while remaining self-consistent — this test breaks
+// that cycle.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dtw/dtw.h"
+#include "dtw/warping_table.h"
+#include "multivariate/multi_dtw.h"
+
+namespace tswarp {
+namespace {
+
+/// Textbook D_tw (paper Definitions 1-2): gamma(x, y) over a full matrix
+/// with explicit boundary handling; 1-based indices mapped to 0-based.
+Value ReferenceDtw(const std::vector<Value>& a, const std::vector<Value>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<Value>> g(n, std::vector<Value>(m, 0.0));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < m; ++y) {
+      const Value base = std::fabs(a[x] - b[y]);
+      if (x == 0 && y == 0) {
+        g[x][y] = base;
+      } else if (x == 0) {
+        g[x][y] = base + g[x][y - 1];
+      } else if (y == 0) {
+        g[x][y] = base + g[x - 1][y];
+      } else {
+        g[x][y] = base + std::min({g[x][y - 1], g[x - 1][y],
+                                   g[x - 1][y - 1]});
+      }
+    }
+  }
+  return g[n - 1][m - 1];
+}
+
+/// Reference for the prefix property: D_tw(a, b[0..q]) for every q.
+std::vector<Value> ReferencePrefixDistances(const std::vector<Value>& a,
+                                            const std::vector<Value>& b) {
+  std::vector<Value> out;
+  for (std::size_t q = 1; q <= b.size(); ++q) {
+    out.push_back(ReferenceDtw(a, std::vector<Value>(b.begin(),
+                                                     b.begin() +
+                                                         static_cast<long>(
+                                                             q))));
+  }
+  return out;
+}
+
+TEST(ReferenceDtwTest, DtwDistanceMatchesTextbookImplementation) {
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Value> a, b;
+    const int la = static_cast<int>(rng.UniformInt(1, 15));
+    const int lb = static_cast<int>(rng.UniformInt(1, 15));
+    for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(-10, 10));
+    for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(-10, 10));
+    ASSERT_DOUBLE_EQ(dtw::DtwDistance(a, b), ReferenceDtw(a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(ReferenceDtwTest, PrefixDistancesMatch) {
+  Rng rng(102);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Value> a, b;
+    const int la = static_cast<int>(rng.UniformInt(1, 8));
+    const int lb = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(0, 10));
+    for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(0, 10));
+    const std::vector<Value> expected = ReferencePrefixDistances(a, b);
+    dtw::WarpingTable table(a);
+    for (std::size_t q = 0; q < b.size(); ++q) {
+      table.PushRowValue(b[q]);
+      ASSERT_DOUBLE_EQ(table.LastColumn(), expected[q]);
+    }
+  }
+}
+
+TEST(ReferenceDtwTest, MultiDtwDim1MatchesTextbook) {
+  Rng rng(103);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Value> a, b;
+    const int la = static_cast<int>(rng.UniformInt(1, 10));
+    const int lb = static_cast<int>(rng.UniformInt(1, 10));
+    for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(-5, 5));
+    for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(-5, 5));
+    ASSERT_DOUBLE_EQ(mv::MultiDtwDistance(a, a.size(), b, b.size(), 1),
+                     ReferenceDtw(a, b));
+  }
+}
+
+TEST(ReferenceDtwTest, TriangleInequalityCounterexampleExists) {
+  // The paper (Section 1) notes D_tw violates the triangle inequality,
+  // which is why spatial access methods are unusable. Find a violation on
+  // random triples to document the property.
+  Rng rng(104);
+  bool violated = false;
+  for (int trial = 0; trial < 2000 && !violated; ++trial) {
+    std::vector<Value> a, b, c;
+    for (int i = 0; i < 3; ++i) {
+      a.push_back(rng.Uniform(0, 10));
+      b.push_back(rng.Uniform(0, 10));
+      c.push_back(rng.Uniform(0, 10));
+    }
+    const Value ab = ReferenceDtw(a, b);
+    const Value bc = ReferenceDtw(b, c);
+    const Value ac = ReferenceDtw(a, c);
+    if (ac > ab + bc + 1e-9) violated = true;
+  }
+  EXPECT_TRUE(violated)
+      << "expected to find a triangle-inequality violation";
+}
+
+TEST(ReferenceDtwTest, KnownClosedForms) {
+  // Constant vs constant: |a - b| * max(n, m)? No — warping aligns all
+  // elements pairwise; the minimum path has max(n, m) cells.
+  const std::vector<Value> c3(3, 5.0);
+  const std::vector<Value> c7(7, 2.0);
+  EXPECT_DOUBLE_EQ(ReferenceDtw(c3, c7), 3.0 * 7);
+  EXPECT_DOUBLE_EQ(dtw::DtwDistance(c3, c7), 3.0 * 7);
+  // Monotone ramp against itself shifted: each element pairs with its
+  // equal neighbour except at the ends.
+  const std::vector<Value> ramp = {1, 2, 3, 4, 5};
+  const std::vector<Value> shifted = {2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(dtw::DtwDistance(ramp, shifted),
+                   ReferenceDtw(ramp, shifted));
+  EXPECT_DOUBLE_EQ(dtw::DtwDistance(ramp, shifted), 2.0);
+}
+
+}  // namespace
+}  // namespace tswarp

@@ -1,0 +1,107 @@
+// Coherence of the SearchStats instrumentation across the searchers: the
+// counters feed the paper's R_d / R_p analyses and the benches, so they
+// must obey basic accounting identities.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+
+namespace tswarp::core {
+namespace {
+
+seqdb::SequenceDatabase Db() {
+  datagen::StockOptions options;
+  options.num_sequences = 20;
+  options.avg_length = 60;
+  options.seed = 77;
+  return datagen::GenerateStocks(options);
+}
+
+std::vector<Value> Query(const seqdb::SequenceDatabase& db) {
+  return std::vector<Value>(db.sequence(3).begin() + 10,
+                            db.sequence(3).begin() + 18);
+}
+
+TEST(SearchStatsTest, TreeSearchAccountingIdentities) {
+  const seqdb::SequenceDatabase db = Db();
+  for (IndexKind kind : {IndexKind::kSuffixTree, IndexKind::kCategorized,
+                         IndexKind::kSparse}) {
+    IndexOptions options;
+    options.kind = kind;
+    options.num_categories = 12;
+    auto index = Index::Build(&db, options);
+    ASSERT_TRUE(index.ok());
+    SearchStats stats;
+    const auto matches = index->Search(Query(db), 6.0, {}, &stats);
+    SCOPED_TRACE(IndexKindToString(kind));
+    // Every answer was a candidate; rejected candidates were either
+    // endpoint-screened or failed the exact computation.
+    EXPECT_GE(stats.candidates, matches.size());
+    EXPECT_EQ(stats.answers, matches.size());
+    EXPECT_LE(stats.endpoint_rejections, stats.candidates);
+    if (kind != IndexKind::kSuffixTree) {
+      EXPECT_LE(stats.exact_dtw_calls + stats.endpoint_rejections,
+                stats.candidates);
+    }
+    // Rows/cells relation: every pushed row computes |Q| cells.
+    EXPECT_EQ(stats.cells_computed, stats.rows_pushed * 8);
+    // Each row serves at least one stored suffix.
+    EXPECT_GE(stats.unshared_rows, stats.rows_pushed);
+    EXPECT_GT(stats.nodes_visited, 0u);
+  }
+}
+
+TEST(SearchStatsTest, EndpointScreenFiresOnLowerBoundModes) {
+  const seqdb::SequenceDatabase db = Db();
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 4;  // Loose bounds -> many candidates.
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  SearchStats stats;
+  index->Search(Query(db), 3.0, {}, &stats);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.endpoint_rejections, 0u)
+      << "with 4 categories and a tight epsilon the O(1) screen should "
+         "reject many candidates";
+}
+
+TEST(SearchStatsTest, SeqScanAccountingIdentities) {
+  const seqdb::SequenceDatabase db = Db();
+  SearchStats stats;
+  const auto q = Query(db);
+  const auto matches = SeqScan(db, q, 5.0, {}, &stats);
+  EXPECT_EQ(stats.answers, matches.size());
+  EXPECT_EQ(stats.cells_computed, stats.rows_pushed * q.size());
+  // With pruning, at most one row per element plus extensions; at least
+  // one row per suffix.
+  EXPECT_GE(stats.rows_pushed, db.TotalElements());
+}
+
+TEST(SearchStatsTest, RdGrowsWithCoarserCategories) {
+  const seqdb::SequenceDatabase db = Db();
+  const auto q = Query(db);
+  double prev_rd = 1e18;
+  for (std::size_t c : {4u, 16u, 64u}) {
+    IndexOptions options;
+    options.kind = IndexKind::kSparse;
+    options.num_categories = c;
+    auto index = Index::Build(&db, options);
+    ASSERT_TRUE(index.ok());
+    SearchStats stats;
+    index->Search(q, 8.0, {}, &stats);
+    const double rd = static_cast<double>(stats.unshared_rows) /
+                      static_cast<double>(stats.rows_pushed);
+    EXPECT_GE(rd, 1.0);
+    // Coarser categories share longer prefixes: R_d should not increase
+    // as categories get finer (allow slack for pruning interactions).
+    EXPECT_LE(rd, prev_rd * 1.5) << "c=" << c;
+    prev_rd = rd;
+  }
+}
+
+}  // namespace
+}  // namespace tswarp::core

@@ -1,0 +1,142 @@
+#include "core/seq_scan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "dtw/dtw.h"
+#include "test_util.h"
+
+namespace tswarp::core {
+namespace {
+
+/// Exhaustive oracle: DTW of every subsequence, no pruning, no sharing.
+std::vector<Match> BruteForce(const seqdb::SequenceDatabase& db,
+                              std::span<const Value> q, Value eps) {
+  std::vector<Match> out;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const auto n = static_cast<Pos>(db.sequence(id).size());
+    for (Pos p = 0; p < n; ++p) {
+      for (Pos len = 1; len <= n - p; ++len) {
+        const Value d = dtw::DtwDistance(q, db.Subsequence(id, p, len));
+        if (d <= eps) out.push_back({id, p, len, d});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SeqScanTest, MatchesBruteForceOracle) {
+  Rng rng(2024);
+  for (int round = 0; round < 5; ++round) {
+    seqdb::SequenceDatabase db;
+    const int num_seqs = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < num_seqs; ++i) {
+      seqdb::Sequence s;
+      const int len = static_cast<int>(rng.UniformInt(1, 18));
+      for (int p = 0; p < len; ++p) s.push_back(rng.Uniform(0, 10));
+      db.Add(std::move(s));
+    }
+    for (int qi = 0; qi < 5; ++qi) {
+      std::vector<Value> q;
+      const int lq = static_cast<int>(rng.UniformInt(1, 6));
+      for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+      const Value eps = rng.Uniform(0, 8);
+      testutil::ExpectSameMatches(BruteForce(db, q, eps), SeqScan(db, q, eps),
+                                  "round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(SeqScanTest, PruningDoesNotChangeAnswers) {
+  datagen::RandomWalkOptions options;
+  options.num_sequences = 6;
+  options.avg_length = 30;
+  options.seed = 5;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(options);
+  Rng rng(6);
+  for (int qi = 0; qi < 8; ++qi) {
+    std::vector<Value> q;
+    Value v = rng.Uniform(20, 80);
+    for (int i = 0; i < 5; ++i) {
+      q.push_back(v);
+      v += rng.Gaussian(0, 1);
+    }
+    const Value eps = rng.Uniform(0, 10);
+    SeqScanOptions no_prune;
+    no_prune.prune = false;
+    SearchStats pruned_stats, full_stats;
+    const auto pruned = SeqScan(db, q, eps, {}, &pruned_stats);
+    const auto full = SeqScan(db, q, eps, no_prune, &full_stats);
+    testutil::ExpectSameMatches(full, pruned, "prune ablation");
+    EXPECT_LE(pruned_stats.rows_pushed, full_stats.rows_pushed);
+  }
+}
+
+TEST(SeqScanTest, PruningCutsWorkAtSmallEpsilon) {
+  datagen::RandomWalkOptions options;
+  options.num_sequences = 4;
+  options.avg_length = 60;
+  options.seed = 9;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(options);
+  const std::vector<Value> q = {1000.0, 1001.0};  // Far from all data.
+  SeqScanOptions no_prune;
+  no_prune.prune = false;
+  SearchStats pruned_stats, full_stats;
+  SeqScan(db, q, 0.5, {}, &pruned_stats);
+  SeqScan(db, q, 0.5, no_prune, &full_stats);
+  // Theorem 1 fires on the first row of every suffix.
+  EXPECT_EQ(pruned_stats.rows_pushed, db.TotalElements());
+  EXPECT_GT(full_stats.rows_pushed, 4 * pruned_stats.rows_pushed);
+}
+
+TEST(SeqScanTest, ReportsDistances) {
+  seqdb::SequenceDatabase db;
+  db.Add({1, 2, 3});
+  const std::vector<Value> q = {1, 2};
+  const auto matches = SeqScan(db, q, 1.0);
+  for (const Match& m : matches) {
+    EXPECT_NEAR(m.distance,
+                dtw::DtwDistance(q, db.Subsequence(m.seq, m.start, m.len)),
+                1e-12);
+    EXPECT_LE(m.distance, 1.0);
+  }
+  // S[0:1] = <1,2> matches exactly.
+  bool exact = false;
+  for (const Match& m : matches) {
+    if (m.start == 0 && m.len == 2 && m.distance == 0.0) exact = true;
+  }
+  EXPECT_TRUE(exact);
+}
+
+TEST(SeqScanTest, BandedScanRespectsBand) {
+  datagen::RandomWalkOptions options;
+  options.num_sequences = 3;
+  options.avg_length = 25;
+  options.seed = 11;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(options);
+  Rng rng(12);
+  std::vector<Value> q;
+  Value v = rng.Uniform(20, 80);
+  for (int i = 0; i < 6; ++i) {
+    q.push_back(v);
+    v += rng.Gaussian(0, 1);
+  }
+  SeqScanOptions banded;
+  banded.band = 2;
+  const auto matches = SeqScan(db, q, 20.0, banded);
+  for (const Match& m : matches) {
+    // |len - |Q|| <= band is implied by the band constraint.
+    EXPECT_LE(std::abs(static_cast<int>(m.len) - static_cast<int>(q.size())),
+              2);
+    EXPECT_NEAR(m.distance,
+                dtw::DtwDistanceBanded(
+                    q, db.Subsequence(m.seq, m.start, m.len), 2),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tswarp::core

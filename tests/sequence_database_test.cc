@@ -1,0 +1,110 @@
+#include "seqdb/sequence_database.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace tswarp::seqdb {
+namespace {
+
+TEST(SequenceDatabaseTest, AddAndAccess) {
+  SequenceDatabase db;
+  EXPECT_TRUE(db.empty());
+  const SeqId a = db.Add({1.0, 2.0, 3.0});
+  const SeqId b = db.Add({4.0});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.TotalElements(), 4u);
+  EXPECT_DOUBLE_EQ(db.AverageLength(), 2.0);
+  EXPECT_EQ(db.sequence(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(db.sequence(1)[0], 4.0);
+}
+
+TEST(SequenceDatabaseTest, SubsequenceAndSuffixViews) {
+  SequenceDatabase db;
+  db.Add({10, 20, 30, 40, 50});
+  const auto sub = db.Subsequence(0, 1, 3);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0], 20);
+  EXPECT_DOUBLE_EQ(sub[2], 40);
+  const auto suffix = db.Suffix(0, 3);
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_DOUBLE_EQ(suffix[0], 40);
+}
+
+TEST(SequenceDatabaseTest, ValueRangeAndMean) {
+  SequenceDatabase db;
+  db.Add({5, -3, 8});
+  db.Add({2, 2});
+  const auto [lo, hi] = db.ValueRange();
+  EXPECT_DOUBLE_EQ(lo, -3);
+  EXPECT_DOUBLE_EQ(hi, 8);
+  EXPECT_DOUBLE_EQ(db.MeanValue(0), 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(db.MeanValue(1), 2.0);
+}
+
+TEST(SequenceDatabaseTest, DataBytes) {
+  SequenceDatabase db;
+  db.Add({1, 2, 3});
+  EXPECT_EQ(db.DataBytes(), 3 * sizeof(Value));
+}
+
+class SaveLoadTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("tswarp_seqdb_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(SaveLoadTest, RoundTrip) {
+  SequenceDatabase db;
+  db.Add({1.5, -2.25, 1e9});
+  db.Add({0.0});
+  db.Add({3, 3, 3, 3});
+  ASSERT_TRUE(db.Save(path_).ok());
+  auto loaded = SequenceDatabase::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->TotalElements(), db.TotalElements());
+  for (SeqId id = 0; id < db.size(); ++id) {
+    EXPECT_EQ(loaded->sequence(id), db.sequence(id));
+  }
+}
+
+TEST_F(SaveLoadTest, LoadMissingFileFails) {
+  auto loaded = SequenceDatabase::Load(path_ + ".nope");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SaveLoadTest, LoadRejectsCorruptHeader) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not a tswarp database file";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  auto loaded = SequenceDatabase::Load(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SaveLoadTest, LoadRejectsTruncatedBody) {
+  SequenceDatabase db;
+  db.Add({1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_TRUE(db.Save(path_).ok());
+  // Truncate the file to cut into the sequence payload.
+  std::filesystem::resize_file(path_, 30);
+  auto loaded = SequenceDatabase::Load(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tswarp::seqdb

@@ -1,0 +1,66 @@
+#include "suffixtree/symbol_database.h"
+
+#include <gtest/gtest.h>
+
+namespace tswarp::suffixtree {
+namespace {
+
+TEST(SymbolDatabaseTest, AddAndAccess) {
+  SymbolDatabase db;
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.Add({1, 2, 3}), 0u);
+  EXPECT_EQ(db.Add({4}), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.TotalSymbols(), 4u);
+  EXPECT_EQ(db.sequence(0).size(), 3u);
+}
+
+TEST(SymbolDatabaseTest, SuffixViews) {
+  SymbolDatabase db;
+  db.Add({7, 8, 9});
+  const auto suffix = db.Suffix(0, 1);
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_EQ(suffix[0], 8);
+  EXPECT_EQ(suffix[1], 9);
+  EXPECT_EQ(db.Suffix(0, 2).size(), 1u);
+}
+
+TEST(SymbolDatabaseTest, RunLengthsAndRunStarts) {
+  SymbolDatabase db;
+  db.Add({5});
+  EXPECT_EQ(db.RunLength(0, 0), 1u);
+  EXPECT_TRUE(db.IsRunStart(0, 0));
+
+  db.Add({2, 2, 2});
+  EXPECT_EQ(db.RunLength(1, 0), 3u);
+  EXPECT_EQ(db.RunLength(1, 1), 2u);
+  EXPECT_EQ(db.RunLength(1, 2), 1u);
+  EXPECT_TRUE(db.IsRunStart(1, 0));
+  EXPECT_FALSE(db.IsRunStart(1, 1));
+  EXPECT_FALSE(db.IsRunStart(1, 2));
+
+  db.Add({1, 1, 2, 1});
+  EXPECT_EQ(db.RunLength(2, 0), 2u);
+  EXPECT_EQ(db.RunLength(2, 2), 1u);
+  EXPECT_EQ(db.RunLength(2, 3), 1u);
+  EXPECT_TRUE(db.IsRunStart(2, 2));
+  EXPECT_TRUE(db.IsRunStart(2, 3));
+}
+
+TEST(SymbolDatabaseTest, ConstructFromVector) {
+  std::vector<SymbolSequence> seqs = {{1, 2}, {3}};
+  SymbolDatabase db(std::move(seqs));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.TotalSymbols(), 3u);
+}
+
+TEST(SymbolDatabaseTest, MoveSemantics) {
+  SymbolDatabase a;
+  a.Add({1, 2, 3});
+  SymbolDatabase b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.TotalSymbols(), 3u);
+}
+
+}  // namespace
+}  // namespace tswarp::suffixtree

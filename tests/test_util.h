@@ -1,0 +1,34 @@
+#ifndef TSWARP_TESTS_TEST_UTIL_H_
+#define TSWARP_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match.h"
+
+namespace tswarp::testutil {
+
+/// Asserts two match sets are identical as sets of (seq, start, len) and
+/// that the reported distances agree.
+inline void ExpectSameMatches(const std::vector<core::Match>& expected,
+                              const std::vector<core::Match>& actual,
+                              const std::string& context) {
+  std::vector<core::Match> e = expected;
+  std::vector<core::Match> a = actual;
+  std::sort(e.begin(), e.end(), core::MatchLess);
+  std::sort(a.begin(), a.end(), core::MatchLess);
+  ASSERT_EQ(e.size(), a.size()) << context << ": result-set sizes differ";
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(e[i].seq, a[i].seq) << context << " at " << i;
+    EXPECT_EQ(e[i].start, a[i].start) << context << " at " << i;
+    EXPECT_EQ(e[i].len, a[i].len) << context << " at " << i;
+    EXPECT_NEAR(e[i].distance, a[i].distance, 1e-9) << context << " at " << i;
+  }
+}
+
+}  // namespace tswarp::testutil
+
+#endif  // TSWARP_TESTS_TEST_UTIL_H_

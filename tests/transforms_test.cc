@@ -1,0 +1,105 @@
+#include "seqdb/transforms.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tswarp::seqdb {
+namespace {
+
+TEST(ZNormalizeTest, MeanZeroUnitVariance) {
+  Rng rng(1);
+  Sequence s;
+  for (int i = 0; i < 200; ++i) s.push_back(rng.Uniform(-50, 100));
+  const Sequence z = ZNormalize(s);
+  ASSERT_EQ(z.size(), s.size());
+  const double mean = std::accumulate(z.begin(), z.end(), 0.0) /
+                      static_cast<double>(z.size());
+  double var = 0.0;
+  for (Value v : z) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(z.size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-9);
+}
+
+TEST(ZNormalizeTest, ShiftAndScaleInvariant) {
+  const Sequence s = {1, 2, 3, 4, 5};
+  Sequence shifted;
+  for (Value v : s) shifted.push_back(3.0 * v + 17.0);
+  const Sequence za = ZNormalize(s);
+  const Sequence zb = ZNormalize(shifted);
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    EXPECT_NEAR(za[i], zb[i], 1e-9);
+  }
+}
+
+TEST(ZNormalizeTest, ConstantSequenceBecomesZeros) {
+  const Sequence z = ZNormalize(Sequence(10, 42.0));
+  for (Value v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  const Sequence s = {3, 1, 4, 1, 5};
+  EXPECT_EQ(MovingAverage(s, 1), s);
+}
+
+TEST(MovingAverageTest, KnownValues) {
+  const Sequence s = {2, 4, 6, 8};
+  const Sequence m = MovingAverage(s, 2);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0], 2);        // Head window of 1.
+  EXPECT_DOUBLE_EQ(m[1], 3);
+  EXPECT_DOUBLE_EQ(m[2], 5);
+  EXPECT_DOUBLE_EQ(m[3], 7);
+}
+
+TEST(MovingAverageTest, LargeWindowConvergesToPrefixMeans) {
+  const Sequence s = {1, 2, 3};
+  const Sequence m = MovingAverage(s, 100);
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+  EXPECT_DOUBLE_EQ(m[1], 1.5);
+  EXPECT_DOUBLE_EQ(m[2], 2.0);
+}
+
+TEST(DownsampleTest, EveryKth) {
+  const Sequence s = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(Downsample(s, 2), (Sequence{0, 2, 4, 6}));
+  EXPECT_EQ(Downsample(s, 3), (Sequence{0, 3, 6}));
+  EXPECT_EQ(Downsample(s, 1), s);
+  EXPECT_EQ(Downsample(s, 10), (Sequence{0}));
+}
+
+TEST(PiecewiseAggregateTest, SegmentMeans) {
+  const Sequence s = {1, 1, 5, 5, 9, 9};
+  EXPECT_EQ(PiecewiseAggregate(s, 3), (Sequence{1, 5, 9}));
+  EXPECT_EQ(PiecewiseAggregate(s, 1), (Sequence{5}));
+  EXPECT_EQ(PiecewiseAggregate(s, 6), s);
+}
+
+TEST(PiecewiseAggregateTest, UnevenSegments) {
+  const Sequence s = {1, 2, 3, 4, 5};
+  const Sequence p = PiecewiseAggregate(s, 2);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 1.5);  // {1,2}
+  EXPECT_DOUBLE_EQ(p[1], 4.0);  // {3,4,5}
+}
+
+TEST(TransformDatabaseTest, AppliesToEverySequence) {
+  SequenceDatabase db;
+  db.Add({1, 2, 3});
+  db.Add({10, 20});
+  const SequenceDatabase z = TransformDatabase(
+      db, [](std::span<const Value> s) { return ZNormalize(s); });
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_EQ(z.sequence(0).size(), 3u);
+  EXPECT_EQ(z.sequence(1).size(), 2u);
+  EXPECT_NEAR(std::accumulate(z.sequence(0).begin(), z.sequence(0).end(),
+                              0.0),
+              0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tswarp::seqdb

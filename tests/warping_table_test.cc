@@ -1,0 +1,193 @@
+#include "dtw/warping_table.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dtw/dtw.h"
+
+namespace tswarp::dtw {
+namespace {
+
+TEST(WarpingTableTest, PrefixDistancesMatchPaperFigure1) {
+  // Paper Figure 1: query S3 = <3,4,3> along x, S4 = <4,5,6,7,6,6> as rows.
+  const std::vector<Value> q = {3, 4, 3};
+  const std::vector<Value> s4 = {4, 5, 6, 7, 6, 6};
+  const std::vector<Value> expected_last_col = {2, 3, 5, 8, 10, 12};
+  WarpingTable table(q);
+  for (std::size_t i = 0; i < s4.size(); ++i) {
+    table.PushRowValue(s4[i]);
+    EXPECT_DOUBLE_EQ(table.LastColumn(), expected_last_col[i])
+        << "prefix length " << (i + 1);
+  }
+}
+
+TEST(WarpingTableTest, LastColumnEqualsDtwOfPrefix) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Value> q, s;
+    const int lq = static_cast<int>(rng.UniformInt(1, 10));
+    const int ls = static_cast<int>(rng.UniformInt(1, 15));
+    for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+    for (int i = 0; i < ls; ++i) s.push_back(rng.Uniform(0, 10));
+    WarpingTable table(q);
+    for (int i = 0; i < ls; ++i) {
+      table.PushRowValue(s[i]);
+      const std::span<const Value> prefix(s.data(),
+                                          static_cast<std::size_t>(i) + 1);
+      EXPECT_DOUBLE_EQ(table.LastColumn(), DtwDistance(q, prefix));
+    }
+  }
+}
+
+TEST(WarpingTableTest, PopRowRestoresState) {
+  const std::vector<Value> q = {1, 2, 3};
+  WarpingTable table(q);
+  table.PushRowValue(1);
+  const Value after_one = table.LastColumn();
+  table.PushRowValue(9);
+  table.PushRowValue(9);
+  table.PopRows(2);
+  EXPECT_EQ(table.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(table.LastColumn(), after_one);
+  // Re-pushing gives the same values as the first time.
+  table.PushRowValue(2);
+  const Value with_two = table.LastColumn();
+  table.PopRow();
+  table.PushRowValue(2);
+  EXPECT_DOUBLE_EQ(table.LastColumn(), with_two);
+}
+
+TEST(WarpingTableTest, SharedPrefixEqualsRebuild) {
+  // The DFS sharing pattern: distances after push/pop interleavings match
+  // freshly built tables (the R_d sharing of Section 4.3 is exact).
+  Rng rng(23);
+  const std::vector<Value> q = {2, 4, 6, 8};
+  WarpingTable shared(q);
+  std::vector<Value> prefix;
+  for (int step = 0; step < 200; ++step) {
+    if (!prefix.empty() && rng.Coin(0.4)) {
+      prefix.pop_back();
+      shared.PopRow();
+    } else {
+      const Value v = rng.Uniform(0, 10);
+      prefix.push_back(v);
+      shared.PushRowValue(v);
+    }
+    if (!prefix.empty()) {
+      WarpingTable fresh(q);
+      for (Value v : prefix) fresh.PushRowValue(v);
+      ASSERT_DOUBLE_EQ(shared.LastColumn(), fresh.LastColumn());
+      ASSERT_DOUBLE_EQ(shared.RowMin(), fresh.RowMin());
+    }
+  }
+}
+
+TEST(WarpingTableTest, RowMinNeverExceedsLastColumn) {
+  Rng rng(29);
+  const std::vector<Value> q = {1, 3, 5};
+  WarpingTable table(q);
+  for (int i = 0; i < 50; ++i) {
+    table.PushRowValue(rng.Uniform(0, 10));
+    EXPECT_LE(table.RowMin(), table.LastColumn());
+  }
+}
+
+// Theorem 1: once the row minimum exceeds epsilon, no later row's last
+// column can be <= epsilon.
+TEST(WarpingTableTest, Theorem1NoRecoveryAfterRowMinExceeds) {
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> q;
+    const int lq = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+    const Value eps = rng.Uniform(0, 8);
+    WarpingTable table(q);
+    bool exceeded = false;
+    for (int i = 0; i < 30; ++i) {
+      table.PushRowValue(rng.Uniform(0, 10));
+      if (exceeded) {
+        ASSERT_GT(table.LastColumn(), eps)
+            << "Theorem 1 violated at row " << (i + 1);
+      }
+      if (table.RowMin() > eps) exceeded = true;
+    }
+  }
+}
+
+TEST(WarpingTableTest, RowMinIsMonotoneNonDecreasing) {
+  // The row minimum is non-decreasing in the row index (cumulative
+  // distances only grow), which is why Theorem 1 gives a safe cutoff.
+  Rng rng(43);
+  const std::vector<Value> q = {5, 1, 7, 2};
+  WarpingTable table(q);
+  Value prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    table.PushRowValue(rng.Uniform(0, 10));
+    EXPECT_GE(table.RowMin(), prev - 1e-12);
+    prev = table.RowMin();
+  }
+}
+
+TEST(WarpingTableTest, IntervalRowsLowerBoundValueRows) {
+  Rng rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Value> q;
+    const int lq = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+    WarpingTable exact(q);
+    WarpingTable lower(q);
+    for (int i = 0; i < 20; ++i) {
+      const Value v = rng.Uniform(0, 10);
+      const Value lo = v - rng.Uniform(0, 1.5);
+      const Value hi = v + rng.Uniform(0, 1.5);
+      exact.PushRowValue(v);
+      lower.PushRowInterval(lo, hi);
+      EXPECT_LE(lower.LastColumn(), exact.LastColumn() + 1e-9);
+      EXPECT_LE(lower.RowMin(), exact.RowMin() + 1e-9);
+    }
+  }
+}
+
+TEST(WarpingTableTest, CellsComputedCountsRows) {
+  const std::vector<Value> q = {1, 2, 3, 4, 5};
+  WarpingTable table(q);
+  table.PushRowValue(1);
+  table.PushRowValue(2);
+  EXPECT_EQ(table.cells_computed(), 10u);
+  table.PopRow();
+  table.PushRowValue(3);
+  EXPECT_EQ(table.cells_computed(), 15u);
+}
+
+TEST(WarpingTableTest, CustomRowsMatchValueRows) {
+  const std::vector<Value> q = {1, 4, 2};
+  WarpingTable a(q);
+  WarpingTable b(q.size(), 0);
+  for (Value v : {3.0, 0.5, 2.0}) {
+    a.PushRowValue(v);
+    b.PushRowCustom(
+        [&](std::size_t x) { return std::fabs(q[x] - v); });
+    EXPECT_DOUBLE_EQ(a.LastColumn(), b.LastColumn());
+    EXPECT_DOUBLE_EQ(a.RowMin(), b.RowMin());
+  }
+}
+
+TEST(WarpingTableTest, BandedTableMatchesBandedDistance) {
+  Rng rng(53);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Value> q, s;
+    const int lq = static_cast<int>(rng.UniformInt(2, 8));
+    const int ls = static_cast<int>(rng.UniformInt(2, 8));
+    for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+    for (int i = 0; i < ls; ++i) s.push_back(rng.Uniform(0, 10));
+    const Pos band = static_cast<Pos>(rng.UniformInt(1, 9));
+    WarpingTable table(q, band);
+    for (Value v : s) table.PushRowValue(v);
+    EXPECT_DOUBLE_EQ(table.LastColumn(), DtwDistanceBanded(q, s, band));
+  }
+}
+
+}  // namespace
+}  // namespace tswarp::dtw

@@ -1,0 +1,319 @@
+// tswarp command-line tool: generate synthetic sequence databases, build
+// and persist indexes, and run time-warping subsequence queries without
+// writing any code.
+//
+//   tswarp_cli generate --kind stock --out market.db [--n 545] [--seed 7]
+//   tswarp_cli info market.db
+//   tswarp_cli build market.db --index /tmp/market_idx [--categories 40]
+//   tswarp_cli search market.db --query 50,51,53,52 --epsilon 10
+//   tswarp_cli search market.db --query 50,51,53,52 --epsilon 10
+//       --index /tmp/market_idx          (reuses a persisted index)
+//   tswarp_cli knn market.db --query 50,51,53,52 --k 5
+//   tswarp_cli dot market.db --categories 8 --max-nodes 64
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "datagen/generators.h"
+#include "suffixtree/dot_export.h"
+
+namespace tswarp {
+namespace {
+
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::Match;
+
+const char* FlagValue(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+long FlagLong(int argc, char** argv, const char* flag, long fallback) {
+  const char* v = FlagValue(argc, argv, flag, nullptr);
+  return v == nullptr ? fallback : std::atol(v);
+}
+
+double FlagDouble(int argc, char** argv, const char* flag, double fallback) {
+  const char* v = FlagValue(argc, argv, flag, nullptr);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+std::vector<Value> ParseQuery(const char* text) {
+  std::vector<Value> out;
+  if (text == nullptr) return out;
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tswarp_cli <generate|info|build|search|knn|dot> "
+               "[args]\n"
+               "  generate --kind stock|walk|ecg --out FILE [--n N] "
+               "[--len L] [--seed S]\n"
+               "  info DB\n"
+               "  build DB --index PATH [--kind st|stc|sstc] "
+               "[--categories C] [--method el|me|km]\n"
+               "  search DB --query v1,v2,... --epsilon E [--kind ...] "
+               "[--categories C] [--index PATH] [--scan] [--limit N]\n"
+               "  knn DB --query v1,v2,... --k K [--kind ...] "
+               "[--categories C]\n"
+               "  dot DB [--categories C] [--max-nodes N]\n");
+  return 2;
+}
+
+StatusOr<seqdb::SequenceDatabase> LoadDb(int argc, char** argv) {
+  if (argc < 3) return Status::InvalidArgument("missing database path");
+  return seqdb::SequenceDatabase::Load(argv[2]);
+}
+
+IndexOptions OptionsFromFlags(int argc, char** argv) {
+  IndexOptions options;
+  const std::string kind = FlagValue(argc, argv, "--kind", "sstc");
+  if (kind == "st") {
+    options.kind = IndexKind::kSuffixTree;
+  } else if (kind == "stc") {
+    options.kind = IndexKind::kCategorized;
+  } else {
+    options.kind = IndexKind::kSparse;
+  }
+  const std::string method = FlagValue(argc, argv, "--method", "me");
+  if (method == "el") {
+    options.method = categorize::Method::kEqualLength;
+  } else if (method == "km") {
+    options.method = categorize::Method::kKMeans;
+  } else {
+    options.method = categorize::Method::kMaxEntropy;
+  }
+  options.num_categories =
+      static_cast<std::size_t>(FlagLong(argc, argv, "--categories", 40));
+  const char* index_path = FlagValue(argc, argv, "--index", nullptr);
+  if (index_path != nullptr) options.disk_path = index_path;
+  return options;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const std::string kind = FlagValue(argc, argv, "--kind", "stock");
+  const char* out = FlagValue(argc, argv, "--out", nullptr);
+  if (out == nullptr) return Usage();
+  const auto n = static_cast<std::size_t>(FlagLong(argc, argv, "--n", 0));
+  const auto len = static_cast<std::size_t>(FlagLong(argc, argv, "--len",
+                                                     0));
+  const auto seed =
+      static_cast<std::uint64_t>(FlagLong(argc, argv, "--seed", 7));
+
+  seqdb::SequenceDatabase db;
+  if (kind == "walk") {
+    datagen::RandomWalkOptions options;
+    if (n != 0) options.num_sequences = n;
+    if (len != 0) options.avg_length = len;
+    options.seed = seed;
+    db = datagen::GenerateRandomWalks(options);
+  } else if (kind == "ecg") {
+    datagen::EcgOptions options;
+    if (n != 0) options.num_sequences = n;
+    if (len != 0) options.length = len;
+    options.seed = seed;
+    db = datagen::GenerateEcg(options);
+  } else {
+    datagen::StockOptions options;
+    if (n != 0) options.num_sequences = n;
+    if (len != 0) options.avg_length = len;
+    options.seed = seed;
+    db = datagen::GenerateStocks(options);
+  }
+  const Status s = db.Save(out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu sequences (%zu elements) to %s\n", db.size(),
+              db.TotalElements(), out);
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  auto db = LoadDb(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const auto [lo, hi] = db->ValueRange();
+  std::printf("sequences:      %zu\n", db->size());
+  std::printf("elements:       %zu\n", db->TotalElements());
+  std::printf("avg length:     %.1f\n", db->AverageLength());
+  std::printf("value range:    [%.4f, %.4f]\n", lo, hi);
+  std::printf("data bytes:     %zu\n", db->DataBytes());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  auto db = LoadDb(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  IndexOptions options = OptionsFromFlags(argc, argv);
+  if (options.disk_path.empty()) {
+    std::fprintf(stderr, "build requires --index PATH\n");
+    return 2;
+  }
+  auto index = Index::Build(&*db, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  const auto& info = index->build_info();
+  std::printf("kind:           %s\n", IndexKindToString(options.kind));
+  std::printf("categories:     %zu\n", info.num_categories);
+  std::printf("nodes:          %llu\n",
+              static_cast<unsigned long long>(info.num_nodes));
+  std::printf("stored suffixes:%llu (r=%.3f)\n",
+              static_cast<unsigned long long>(info.stored_suffixes),
+              info.compaction_ratio);
+  std::printf("index bytes:    %llu\n",
+              static_cast<unsigned long long>(info.index_bytes));
+  std::printf("bundle:         %s.{meta,nodes,occs,labels,index}\n",
+              options.disk_path.c_str());
+  return 0;
+}
+
+int CmdSearch(int argc, char** argv) {
+  auto db = LoadDb(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Value> query =
+      ParseQuery(FlagValue(argc, argv, "--query", nullptr));
+  if (query.empty()) return Usage();
+  const Value epsilon = FlagDouble(argc, argv, "--epsilon", 10.0);
+  const auto limit =
+      static_cast<std::size_t>(FlagLong(argc, argv, "--limit", 20));
+
+  std::vector<Match> matches;
+  bool scanned = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scan") == 0) scanned = true;
+  }
+  if (scanned) {
+    matches = core::SeqScan(*db, query, epsilon);
+  } else {
+    IndexOptions options = OptionsFromFlags(argc, argv);
+    StatusOr<Index> index = Status::NotFound("");
+    if (!options.disk_path.empty()) {
+      index = Index::Open(&*db, options);
+      if (!index.ok()) index = Index::Build(&*db, options);
+    } else {
+      index = Index::Build(&*db, options);
+    }
+    if (!index.ok()) {
+      std::fprintf(stderr, "index failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    matches = index->Search(query, epsilon);
+  }
+  std::printf("%zu matches (epsilon %.3f)\n", matches.size(), epsilon);
+  for (std::size_t i = 0; i < matches.size() && i < limit; ++i) {
+    const Match& m = matches[i];
+    std::printf("  S%u[%u..%u] len %u  D_tw %.4f\n", m.seq, m.start,
+                m.start + m.len - 1, m.len, m.distance);
+  }
+  if (matches.size() > limit) {
+    std::printf("  ... %zu more (raise --limit)\n", matches.size() - limit);
+  }
+  return 0;
+}
+
+int CmdKnn(int argc, char** argv) {
+  auto db = LoadDb(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Value> query =
+      ParseQuery(FlagValue(argc, argv, "--query", nullptr));
+  if (query.empty()) return Usage();
+  const auto k = static_cast<std::size_t>(FlagLong(argc, argv, "--k", 5));
+  auto index = Index::Build(&*db, OptionsFromFlags(argc, argv));
+  if (!index.ok()) {
+    std::fprintf(stderr, "index failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Match> knn = index->SearchKnn(query, k);
+  std::printf("%zu nearest subsequences:\n", knn.size());
+  for (const Match& m : knn) {
+    std::printf("  S%u[%u..%u] len %u  D_tw %.4f\n", m.seq, m.start,
+                m.start + m.len - 1, m.len, m.distance);
+  }
+  return 0;
+}
+
+int CmdDot(int argc, char** argv) {
+  auto db = LoadDb(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  IndexOptions options = OptionsFromFlags(argc, argv);
+  options.disk_path.clear();
+  options.num_categories =
+      static_cast<std::size_t>(FlagLong(argc, argv, "--categories", 8));
+  // Build a small in-memory categorized tree and dump it. (Reaching the
+  // tree requires the suffixtree API directly.)
+  const std::vector<Value> values = categorize::CollectValues(*db);
+  auto alphabet = categorize::Build(options.method, values,
+                                    options.num_categories, options.seed);
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "%s\n", alphabet.status().ToString().c_str());
+    return 1;
+  }
+  categorize::CategorizedDatabase converted =
+      categorize::ConvertDatabase(*db, &*alphabet);
+  const suffixtree::SymbolDatabase symbols(std::move(converted.sequences));
+  suffixtree::BuildOptions build;
+  build.sparse = options.kind == IndexKind::kSparse;
+  const suffixtree::SuffixTree tree = BuildSuffixTree(symbols, build);
+  suffixtree::DotOptions dot;
+  dot.max_nodes =
+      static_cast<std::size_t>(FlagLong(argc, argv, "--max-nodes", 64));
+  std::fputs(suffixtree::ToDot(tree, dot).c_str(), stdout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "search") return CmdSearch(argc, argv);
+  if (cmd == "knn") return CmdKnn(argc, argv);
+  if (cmd == "dot") return CmdDot(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Main(argc, argv); }
