@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_categorizer.dir/ablation_categorizer.cc.o"
+  "CMakeFiles/ablation_categorizer.dir/ablation_categorizer.cc.o.d"
+  "ablation_categorizer"
+  "ablation_categorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_categorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

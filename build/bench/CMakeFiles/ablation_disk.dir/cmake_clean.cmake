@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disk.dir/ablation_disk.cc.o"
+  "CMakeFiles/ablation_disk.dir/ablation_disk.cc.o.d"
+  "ablation_disk"
+  "ablation_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

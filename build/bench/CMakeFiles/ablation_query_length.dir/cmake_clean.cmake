@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_query_length.dir/ablation_query_length.cc.o"
+  "CMakeFiles/ablation_query_length.dir/ablation_query_length.cc.o.d"
+  "ablation_query_length"
+  "ablation_query_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

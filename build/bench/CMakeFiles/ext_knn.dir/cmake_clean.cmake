@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_knn.dir/ext_knn.cc.o"
+  "CMakeFiles/ext_knn.dir/ext_knn.cc.o.d"
+  "ext_knn"
+  "ext_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_length_bounds.dir/ext_length_bounds.cc.o"
+  "CMakeFiles/ext_length_bounds.dir/ext_length_bounds.cc.o.d"
+  "ext_length_bounds"
+  "ext_length_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_length_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

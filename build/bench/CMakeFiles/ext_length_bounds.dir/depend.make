@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_length_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scalability_length.dir/fig4_scalability_length.cc.o"
+  "CMakeFiles/fig4_scalability_length.dir/fig4_scalability_length.cc.o.d"
+  "fig4_scalability_length"
+  "fig4_scalability_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scalability_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scalability_count.dir/fig5_scalability_count.cc.o"
+  "CMakeFiles/fig5_scalability_count.dir/fig5_scalability_count.cc.o.d"
+  "fig5_scalability_count"
+  "fig5_scalability_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scalability_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_query_time.dir/table2_query_time.cc.o"
+  "CMakeFiles/table2_query_time.dir/table2_query_time.cc.o.d"
+  "table2_query_time"
+  "table2_query_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_query_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

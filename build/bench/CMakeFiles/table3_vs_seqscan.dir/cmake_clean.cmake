@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_vs_seqscan.dir/table3_vs_seqscan.cc.o"
+  "CMakeFiles/table3_vs_seqscan.dir/table3_vs_seqscan.cc.o.d"
+  "table3_vs_seqscan"
+  "table3_vs_seqscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vs_seqscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

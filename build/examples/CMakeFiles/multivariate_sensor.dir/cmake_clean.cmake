@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivariate_sensor.dir/multivariate_sensor.cpp.o"
+  "CMakeFiles/multivariate_sensor.dir/multivariate_sensor.cpp.o.d"
+  "multivariate_sensor"
+  "multivariate_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivariate_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_screener.dir/stock_screener.cpp.o"
+  "CMakeFiles/stock_screener.dir/stock_screener.cpp.o.d"
+  "stock_screener"
+  "stock_screener.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_screener.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

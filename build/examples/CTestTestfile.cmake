@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "sequential scan agrees: yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_alignment_demo "/root/repo/build/examples/alignment_demo")
+set_tests_properties(example_alignment_demo PROPERTIES  PASS_REGULAR_EXPRESSION "D_tw = 12.0" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multivariate_sensor "/root/repo/build/examples/multivariate_sensor")
+set_tests_properties(example_multivariate_sensor PROPERTIES  PASS_REGULAR_EXPRESSION "both planted machines found: yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stock_screener "/root/repo/build/examples/stock_screener")
+set_tests_properties(example_stock_screener PROPERTIES  PASS_REGULAR_EXPRESSION "planted stocks:" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ecg_monitor "/root/repo/build/examples/ecg_monitor")
+set_tests_properties(example_ecg_monitor PROPERTIES  PASS_REGULAR_EXPRESSION "best match per channel" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

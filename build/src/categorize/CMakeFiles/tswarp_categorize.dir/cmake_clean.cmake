@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_categorize.dir/alphabet.cc.o"
+  "CMakeFiles/tswarp_categorize.dir/alphabet.cc.o.d"
+  "CMakeFiles/tswarp_categorize.dir/categorizer.cc.o"
+  "CMakeFiles/tswarp_categorize.dir/categorizer.cc.o.d"
+  "libtswarp_categorize.a"
+  "libtswarp_categorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_categorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tswarp_categorize.
+# This may be replaced when dependencies are built.

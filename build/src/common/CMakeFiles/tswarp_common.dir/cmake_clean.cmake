@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_common.dir/logging.cc.o"
+  "CMakeFiles/tswarp_common.dir/logging.cc.o.d"
+  "CMakeFiles/tswarp_common.dir/status.cc.o"
+  "CMakeFiles/tswarp_common.dir/status.cc.o.d"
+  "libtswarp_common.a"
+  "libtswarp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/category_selection.cc" "src/core/CMakeFiles/tswarp_core.dir/category_selection.cc.o" "gcc" "src/core/CMakeFiles/tswarp_core.dir/category_selection.cc.o.d"
+  "/root/repo/src/core/consolidate.cc" "src/core/CMakeFiles/tswarp_core.dir/consolidate.cc.o" "gcc" "src/core/CMakeFiles/tswarp_core.dir/consolidate.cc.o.d"
+  "/root/repo/src/core/dictionary.cc" "src/core/CMakeFiles/tswarp_core.dir/dictionary.cc.o" "gcc" "src/core/CMakeFiles/tswarp_core.dir/dictionary.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/tswarp_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/tswarp_core.dir/index.cc.o.d"
+  "/root/repo/src/core/seq_scan.cc" "src/core/CMakeFiles/tswarp_core.dir/seq_scan.cc.o" "gcc" "src/core/CMakeFiles/tswarp_core.dir/seq_scan.cc.o.d"
+  "/root/repo/src/core/tree_search.cc" "src/core/CMakeFiles/tswarp_core.dir/tree_search.cc.o" "gcc" "src/core/CMakeFiles/tswarp_core.dir/tree_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tswarp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/tswarp_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/categorize/CMakeFiles/tswarp_categorize.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqdb/CMakeFiles/tswarp_seqdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tswarp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

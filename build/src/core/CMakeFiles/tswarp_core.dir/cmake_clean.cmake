@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_core.dir/category_selection.cc.o"
+  "CMakeFiles/tswarp_core.dir/category_selection.cc.o.d"
+  "CMakeFiles/tswarp_core.dir/consolidate.cc.o"
+  "CMakeFiles/tswarp_core.dir/consolidate.cc.o.d"
+  "CMakeFiles/tswarp_core.dir/dictionary.cc.o"
+  "CMakeFiles/tswarp_core.dir/dictionary.cc.o.d"
+  "CMakeFiles/tswarp_core.dir/index.cc.o"
+  "CMakeFiles/tswarp_core.dir/index.cc.o.d"
+  "CMakeFiles/tswarp_core.dir/seq_scan.cc.o"
+  "CMakeFiles/tswarp_core.dir/seq_scan.cc.o.d"
+  "CMakeFiles/tswarp_core.dir/tree_search.cc.o"
+  "CMakeFiles/tswarp_core.dir/tree_search.cc.o.d"
+  "libtswarp_core.a"
+  "libtswarp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

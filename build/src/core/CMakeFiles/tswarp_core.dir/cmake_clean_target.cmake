@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtswarp_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_datagen.dir/generators.cc.o"
+  "CMakeFiles/tswarp_datagen.dir/generators.cc.o.d"
+  "libtswarp_datagen.a"
+  "libtswarp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_dtw.dir/alignment.cc.o"
+  "CMakeFiles/tswarp_dtw.dir/alignment.cc.o.d"
+  "CMakeFiles/tswarp_dtw.dir/dtw.cc.o"
+  "CMakeFiles/tswarp_dtw.dir/dtw.cc.o.d"
+  "libtswarp_dtw.a"
+  "libtswarp_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

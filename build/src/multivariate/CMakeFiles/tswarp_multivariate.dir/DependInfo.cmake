@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multivariate/grid_alphabet.cc" "src/multivariate/CMakeFiles/tswarp_multivariate.dir/grid_alphabet.cc.o" "gcc" "src/multivariate/CMakeFiles/tswarp_multivariate.dir/grid_alphabet.cc.o.d"
+  "/root/repo/src/multivariate/multi_dtw.cc" "src/multivariate/CMakeFiles/tswarp_multivariate.dir/multi_dtw.cc.o" "gcc" "src/multivariate/CMakeFiles/tswarp_multivariate.dir/multi_dtw.cc.o.d"
+  "/root/repo/src/multivariate/multi_index.cc" "src/multivariate/CMakeFiles/tswarp_multivariate.dir/multi_index.cc.o" "gcc" "src/multivariate/CMakeFiles/tswarp_multivariate.dir/multi_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tswarp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/tswarp_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/categorize/CMakeFiles/tswarp_categorize.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tswarp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tswarp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqdb/CMakeFiles/tswarp_seqdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_multivariate.dir/grid_alphabet.cc.o"
+  "CMakeFiles/tswarp_multivariate.dir/grid_alphabet.cc.o.d"
+  "CMakeFiles/tswarp_multivariate.dir/multi_dtw.cc.o"
+  "CMakeFiles/tswarp_multivariate.dir/multi_dtw.cc.o.d"
+  "CMakeFiles/tswarp_multivariate.dir/multi_index.cc.o"
+  "CMakeFiles/tswarp_multivariate.dir/multi_index.cc.o.d"
+  "libtswarp_multivariate.a"
+  "libtswarp_multivariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_seqdb.dir/sequence_database.cc.o"
+  "CMakeFiles/tswarp_seqdb.dir/sequence_database.cc.o.d"
+  "CMakeFiles/tswarp_seqdb.dir/transforms.cc.o"
+  "CMakeFiles/tswarp_seqdb.dir/transforms.cc.o.d"
+  "libtswarp_seqdb.a"
+  "libtswarp_seqdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_seqdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/tswarp_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/tswarp_storage.dir/paged_file.cc.o"
+  "CMakeFiles/tswarp_storage.dir/paged_file.cc.o.d"
+  "libtswarp_storage.a"
+  "libtswarp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suffixtree/disk_tree.cc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/disk_tree.cc.o" "gcc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/disk_tree.cc.o.d"
+  "/root/repo/src/suffixtree/dot_export.cc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/dot_export.cc.o" "gcc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/dot_export.cc.o.d"
+  "/root/repo/src/suffixtree/merge.cc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/merge.cc.o" "gcc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/merge.cc.o.d"
+  "/root/repo/src/suffixtree/suffix_tree.cc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/suffix_tree.cc.o" "gcc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/suffix_tree.cc.o.d"
+  "/root/repo/src/suffixtree/tree_view.cc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/tree_view.cc.o" "gcc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/tree_view.cc.o.d"
+  "/root/repo/src/suffixtree/ukkonen.cc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/ukkonen.cc.o" "gcc" "src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/ukkonen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tswarp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tswarp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

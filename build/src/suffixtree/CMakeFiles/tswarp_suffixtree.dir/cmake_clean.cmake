@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_suffixtree.dir/disk_tree.cc.o"
+  "CMakeFiles/tswarp_suffixtree.dir/disk_tree.cc.o.d"
+  "CMakeFiles/tswarp_suffixtree.dir/dot_export.cc.o"
+  "CMakeFiles/tswarp_suffixtree.dir/dot_export.cc.o.d"
+  "CMakeFiles/tswarp_suffixtree.dir/merge.cc.o"
+  "CMakeFiles/tswarp_suffixtree.dir/merge.cc.o.d"
+  "CMakeFiles/tswarp_suffixtree.dir/suffix_tree.cc.o"
+  "CMakeFiles/tswarp_suffixtree.dir/suffix_tree.cc.o.d"
+  "CMakeFiles/tswarp_suffixtree.dir/tree_view.cc.o"
+  "CMakeFiles/tswarp_suffixtree.dir/tree_view.cc.o.d"
+  "CMakeFiles/tswarp_suffixtree.dir/ukkonen.cc.o"
+  "CMakeFiles/tswarp_suffixtree.dir/ukkonen.cc.o.d"
+  "libtswarp_suffixtree.a"
+  "libtswarp_suffixtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_suffixtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorizer_test.dir/categorizer_test.cc.o"
+  "CMakeFiles/categorizer_test.dir/categorizer_test.cc.o.d"
+  "categorizer_test"
+  "categorizer_test.pdb"
+  "categorizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_selection_test.dir/category_selection_test.cc.o"
+  "CMakeFiles/category_selection_test.dir/category_selection_test.cc.o.d"
+  "category_selection_test"
+  "category_selection_test.pdb"
+  "category_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidate_test.dir/consolidate_test.cc.o"
+  "CMakeFiles/consolidate_test.dir/consolidate_test.cc.o.d"
+  "consolidate_test"
+  "consolidate_test.pdb"
+  "consolidate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_tree_test.dir/disk_tree_test.cc.o"
+  "CMakeFiles/disk_tree_test.dir/disk_tree_test.cc.o.d"
+  "disk_tree_test"
+  "disk_tree_test.pdb"
+  "disk_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

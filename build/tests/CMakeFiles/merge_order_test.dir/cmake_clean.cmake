@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_order_test.dir/merge_order_test.cc.o"
+  "CMakeFiles/merge_order_test.dir/merge_order_test.cc.o.d"
+  "merge_order_test"
+  "merge_order_test.pdb"
+  "merge_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivariate_test.dir/multivariate_test.cc.o"
+  "CMakeFiles/multivariate_test.dir/multivariate_test.cc.o.d"
+  "multivariate_test"
+  "multivariate_test.pdb"
+  "multivariate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivariate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

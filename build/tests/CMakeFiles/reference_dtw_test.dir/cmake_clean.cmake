@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_dtw_test.dir/reference_dtw_test.cc.o"
+  "CMakeFiles/reference_dtw_test.dir/reference_dtw_test.cc.o.d"
+  "reference_dtw_test"
+  "reference_dtw_test.pdb"
+  "reference_dtw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_dtw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_stats_test.dir/search_stats_test.cc.o"
+  "CMakeFiles/search_stats_test.dir/search_stats_test.cc.o.d"
+  "search_stats_test"
+  "search_stats_test.pdb"
+  "search_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

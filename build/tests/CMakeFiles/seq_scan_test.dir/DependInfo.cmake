@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seq_scan_test.cc" "tests/CMakeFiles/seq_scan_test.dir/seq_scan_test.cc.o" "gcc" "tests/CMakeFiles/seq_scan_test.dir/seq_scan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/tswarp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/multivariate/CMakeFiles/tswarp_multivariate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tswarp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/categorize/CMakeFiles/tswarp_categorize.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/tswarp_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqdb/CMakeFiles/tswarp_seqdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffixtree/CMakeFiles/tswarp_suffixtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tswarp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tswarp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_scan_test.dir/seq_scan_test.cc.o"
+  "CMakeFiles/seq_scan_test.dir/seq_scan_test.cc.o.d"
+  "seq_scan_test"
+  "seq_scan_test.pdb"
+  "seq_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

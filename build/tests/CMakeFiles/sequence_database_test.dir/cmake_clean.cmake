@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_database_test.dir/sequence_database_test.cc.o"
+  "CMakeFiles/sequence_database_test.dir/sequence_database_test.cc.o.d"
+  "sequence_database_test"
+  "sequence_database_test.pdb"
+  "sequence_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_search_test.dir/tree_search_test.cc.o"
+  "CMakeFiles/tree_search_test.dir/tree_search_test.cc.o.d"
+  "tree_search_test"
+  "tree_search_test.pdb"
+  "tree_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukkonen_test.dir/ukkonen_test.cc.o"
+  "CMakeFiles/ukkonen_test.dir/ukkonen_test.cc.o.d"
+  "ukkonen_test"
+  "ukkonen_test.pdb"
+  "ukkonen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukkonen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warping_table_test.dir/warping_table_test.cc.o"
+  "CMakeFiles/warping_table_test.dir/warping_table_test.cc.o.d"
+  "warping_table_test"
+  "warping_table_test.pdb"
+  "warping_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warping_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tswarp_cli.dir/tswarp_cli.cc.o"
+  "CMakeFiles/tswarp_cli.dir/tswarp_cli.cc.o.d"
+  "tswarp_cli"
+  "tswarp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tswarp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

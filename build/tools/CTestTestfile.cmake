@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/tswarp_cli" "generate" "--kind" "stock" "--out" "/root/repo/build/tools/cli_market.db" "--n" "30" "--len" "80")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/tswarp_cli" "info" "/root/repo/build/tools/cli_market.db")
+set_tests_properties(cli_info PROPERTIES  FIXTURES_REQUIRED "cli_db" PASS_REGULAR_EXPRESSION "sequences:      30" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_build "/root/repo/build/tools/tswarp_cli" "build" "/root/repo/build/tools/cli_market.db" "--index" "/root/repo/build/tools/cli_idx" "--categories" "12")
+set_tests_properties(cli_build PROPERTIES  FIXTURES_REQUIRED "cli_db" PASS_REGULAR_EXPRESSION "stored suffixes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_search "/root/repo/build/tools/tswarp_cli" "search" "/root/repo/build/tools/cli_market.db" "--query" "50,51,52,53" "--epsilon" "8")
+set_tests_properties(cli_search PROPERTIES  FIXTURES_REQUIRED "cli_db" PASS_REGULAR_EXPRESSION "matches \\(epsilon" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_search_scan "/root/repo/build/tools/tswarp_cli" "search" "/root/repo/build/tools/cli_market.db" "--query" "50,51,52,53" "--epsilon" "8" "--scan")
+set_tests_properties(cli_search_scan PROPERTIES  FIXTURES_REQUIRED "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_knn "/root/repo/build/tools/tswarp_cli" "knn" "/root/repo/build/tools/cli_market.db" "--query" "50,51,52,53" "--k" "3")
+set_tests_properties(cli_knn PROPERTIES  FIXTURES_REQUIRED "cli_db" PASS_REGULAR_EXPRESSION "nearest subsequences" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot "/root/repo/build/tools/tswarp_cli" "dot" "/root/repo/build/tools/cli_market.db" "--max-nodes" "16")
+set_tests_properties(cli_dot PROPERTIES  FIXTURES_REQUIRED "cli_db" PASS_REGULAR_EXPRESSION "digraph suffixtree" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/tswarp_cli" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
