@@ -1,0 +1,122 @@
+// Thread-scaling of the parallel query engine: for each index kind (ST,
+// ST_C, SST_C) measures the average query time of the serial searcher
+// (num_threads = 0) against intra-query parallel searches and batched
+// inter-query fan-out at 1, 2, 4, 8 threads, and reports the speedups.
+//
+// The workload is the paper's stock data with a generous epsilon so
+// post-processing (candidate verification with exact DTW) dominates —
+// exactly the part of SimSearch that parallelizes across subtrees and
+// candidates. Expected shape on a multi-core machine: near-linear batch
+// speedup, >= 2x intra-query speedup at 4 threads; on a single core all
+// ratios hover around 1x.
+//
+// SimSearch-ST is excluded by default: it has no post-processing stage and
+// its exact-value tree makes single queries take tens of seconds on the
+// paper workload (Table 2 reports 55.3s); pass --st to include it.
+//
+//   scaling_threads [--queries N] [--epsilon E] [--categories C] [--quick]
+//                   [--st]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/index.h"
+
+namespace tswarp {
+namespace {
+
+using bench::PaperQueries;
+using bench::PaperStockDb;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::QueryOptions;
+
+double AvgQuerySeconds(const Index& index,
+                       const std::vector<seqdb::Sequence>& queries,
+                       Value epsilon, std::size_t num_threads) {
+  QueryOptions options;
+  options.num_threads = num_threads;
+  Timer timer;
+  for (const seqdb::Sequence& q : queries) {
+    const auto matches = index.Search(q, epsilon, options);
+    if (matches.size() == static_cast<std::size_t>(-1)) std::abort();
+  }
+  return timer.Seconds() / static_cast<double>(queries.size());
+}
+
+double BatchSeconds(const Index& index,
+                    const std::vector<seqdb::Sequence>& queries,
+                    Value epsilon, std::size_t num_threads) {
+  std::vector<std::vector<Value>> batch(queries.begin(), queries.end());
+  QueryOptions options;
+  options.num_threads = num_threads;
+  Timer timer;
+  const auto results = index.SearchBatch(batch, {epsilon}, options);
+  if (results.size() != batch.size()) std::abort();
+  return timer.Seconds() / static_cast<double>(queries.size());
+}
+
+int Run(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const bool include_st = bench::HasFlag(argc, argv, "--st");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 8 : 24));
+  const Value epsilon =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 40));
+  const auto categories = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--categories", 20));
+
+  const seqdb::SequenceDatabase db = PaperStockDb();
+  const std::vector<seqdb::Sequence> queries = PaperQueries(db, num_queries);
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  if (quick) thread_counts = {1, 4};
+
+  std::printf("Thread scaling; stock data, epsilon %.0f, %zu queries, "
+              "%zu categories, %zu hardware threads\n\n",
+              epsilon, queries.size(), categories,
+              ThreadPool::HardwareThreads());
+  std::printf("%-6s %10s", "kind", "serial(s)");
+  for (const std::size_t t : thread_counts) {
+    char head[32];
+    std::snprintf(head, sizeof head, "query@%zu", t);
+    std::printf(" %8s", head);
+    std::snprintf(head, sizeof head, "batch@%zu", t);
+    std::printf(" %8s", head);
+  }
+  std::printf("\n");
+
+  std::vector<IndexKind> kinds = {IndexKind::kCategorized, IndexKind::kSparse};
+  if (include_st) kinds.insert(kinds.begin(), IndexKind::kSuffixTree);
+  for (const IndexKind kind : kinds) {
+    IndexOptions options;
+    options.kind = kind;
+    options.num_categories = categories;
+    auto index = Index::Build(&db, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "build %s failed: %s\n", IndexKindToString(kind),
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const double serial = AvgQuerySeconds(*index, queries, epsilon, 0);
+    std::printf("%-6s %10.4f", IndexKindToString(kind), serial);
+    for (const std::size_t t : thread_counts) {
+      const double intra = AvgQuerySeconds(*index, queries, epsilon, t);
+      const double batch = BatchSeconds(*index, queries, epsilon, t);
+      std::printf(" %7.2fx %7.2fx", serial / intra, serial / batch);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(columns are speedups vs the serial searcher; query@T = "
+              "one query split across T workers, batch@T = independent "
+              "queries fanned across T workers)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

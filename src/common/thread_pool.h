@@ -1,0 +1,66 @@
+#ifndef TSWARP_COMMON_THREAD_POOL_H_
+#define TSWARP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tswarp {
+
+/// Fixed-size worker pool with a FIFO task queue. Used by the parallel
+/// searchers (core/tree_search, core/index SearchBatch) and available to
+/// future build/merge parallelism.
+///
+/// Exception contract: if a task throws, the first exception is captured
+/// and rethrown from Wait() (or the destructor's implicit Wait); remaining
+/// queued tasks still run. Submitting from inside a task is legal.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). Requests beyond kMaxThreads —
+  /// usually a negative count cast to size_t — are clamped rather than
+  /// allowed to exhaust the process.
+  explicit ThreadPool(std::size_t num_threads);
+
+  static constexpr std::size_t kMaxThreads = 1024;
+
+  /// Waits for all pending tasks, then joins the workers. Swallows any
+  /// pending task exception (call Wait() first to observe it).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised (clearing it). The pool is reusable
+  /// after Wait().
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static std::size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: task or shutdown.
+  std::condition_variable idle_cv_;   // Signals Wait(): everything drained.
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;         // Queued + currently running tasks.
+  bool shutdown_ = false;
+  std::exception_ptr first_exception_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tswarp
+
+#endif  // TSWARP_COMMON_THREAD_POOL_H_

@@ -1,11 +1,13 @@
 #include "core/index.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/dictionary.h"
 
 namespace tswarp::core {
@@ -238,6 +240,7 @@ TreeSearchConfig MakeConfig(const Index& index,
   config.symbol_values = config.exact ? symbol_values : nullptr;
   config.prune = query_options.prune;
   config.band = query_options.band;
+  config.num_threads = query_options.num_threads;
   return config;
 }
 
@@ -268,6 +271,47 @@ std::vector<Match> Index::SearchKnn(std::span<const Value> query,
       db_, alphabet_.has_value() ? &*alphabet_ : nullptr, &symbol_values_,
       query_options);
   return TreeSearchKnn(config, query, k, stats);
+}
+
+std::vector<std::vector<Match>> Index::SearchBatch(
+    const std::vector<std::vector<Value>>& queries,
+    const std::vector<Value>& epsilons, const QueryOptions& query_options,
+    std::vector<SearchStats>* stats) const {
+  TSW_CHECK(epsilons.size() == 1 || epsilons.size() == queries.size())
+      << "epsilons must hold one shared threshold or one per query";
+  auto epsilon_for = [&](std::size_t i) {
+    return epsilons.size() == 1 ? epsilons[0] : epsilons[i];
+  };
+  // Queries run serially inside; the pool parallelizes across them.
+  QueryOptions per_query = query_options;
+  per_query.num_threads = 0;
+
+  std::vector<std::vector<Match>> results(queries.size());
+  if (stats != nullptr) {
+    stats->assign(queries.size(), SearchStats{});
+  }
+  if (query_options.num_threads == 0) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Search(queries[i], epsilon_for(i), per_query,
+                          stats != nullptr ? &(*stats)[i] : nullptr);
+    }
+    return results;
+  }
+
+  ThreadPool pool(query_options.num_threads);
+  std::atomic<std::size_t> next{0};
+  for (std::size_t w = 0; w < pool.num_threads(); ++w) {
+    pool.Submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= results.size()) break;
+        results[i] = Search(queries[i], epsilon_for(i), per_query,
+                            stats != nullptr ? &(*stats)[i] : nullptr);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 }  // namespace tswarp::core

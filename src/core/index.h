@@ -71,6 +71,11 @@ struct QueryOptions {
   Pos band = 0;
   /// Theorem-1 pruning (ablation hook).
   bool prune = true;
+  /// Worker threads. 0 = serial (the original single-threaded traversal).
+  /// For Search/SearchKnn, >= 1 parallelizes one query's tree traversal
+  /// across branch tasks; for SearchBatch it sizes the pool that fans
+  /// independent queries out. Results are identical to serial either way.
+  std::size_t num_threads = 0;
 };
 
 /// The public index: builds one of the paper's three structures over a
@@ -108,6 +113,18 @@ class Index {
   std::vector<Match> SearchKnn(std::span<const Value> query, std::size_t k,
                                const QueryOptions& query_options = {},
                                SearchStats* stats = nullptr) const;
+
+  /// Runs one range search per query, fanning the (independent) queries
+  /// across a thread pool of query_options.num_threads workers; each query
+  /// itself runs serially, so per-query results and stats are bit-identical
+  /// to Search(). `epsilons` holds either one shared threshold or one per
+  /// query. When `stats` is non-null it is resized to one entry per query.
+  /// num_threads == 0 degenerates to a serial loop over Search().
+  std::vector<std::vector<Match>> SearchBatch(
+      const std::vector<std::vector<Value>>& queries,
+      const std::vector<Value>& epsilons,
+      const QueryOptions& query_options = {},
+      std::vector<SearchStats>* stats = nullptr) const;
 
   const IndexBuildInfo& build_info() const { return build_info_; }
   const IndexOptions& options() const { return options_; }

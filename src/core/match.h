@@ -29,7 +29,9 @@ inline bool MatchLess(const Match& a, const Match& b) {
 }
 
 /// Instrumentation counters filled by the searchers; used by the benches to
-/// report the paper's R_d / R_p reduction factors and by tests.
+/// report the paper's R_d / R_p reduction factors and by tests. In parallel
+/// searches each worker fills a private instance and the per-worker stats
+/// are combined with Merge(), so the totals stay exact under concurrency.
 struct SearchStats {
   std::uint64_t nodes_visited = 0;      // Tree nodes expanded.
   std::uint64_t rows_pushed = 0;        // Cumulative-table rows built.
@@ -44,6 +46,26 @@ struct SearchStats {
                                           // endpoint lower bound.
   std::uint64_t exact_dtw_calls = 0;    // Exact distance computations.
   std::uint64_t answers = 0;            // Final matches.
+  // Prefix rows re-pushed by parallel workers entering a branch task (the
+  // duplicated table work parallelism pays for; 0 in serial searches).
+  // Replay cells are included in cells_computed, so the serial identity
+  // cells_computed == rows_pushed * |Q| relaxes to
+  // (rows_pushed + replayed_rows) * |Q| when replayed_rows > 0.
+  std::uint64_t replayed_rows = 0;
+
+  /// Accumulates another worker's counters into this one.
+  void Merge(const SearchStats& other) {
+    nodes_visited += other.nodes_visited;
+    rows_pushed += other.rows_pushed;
+    unshared_rows += other.unshared_rows;
+    cells_computed += other.cells_computed;
+    branches_pruned += other.branches_pruned;
+    candidates += other.candidates;
+    endpoint_rejections += other.endpoint_rejections;
+    exact_dtw_calls += other.exact_dtw_calls;
+    answers += other.answers;
+    replayed_rows += other.replayed_rows;
+  }
 };
 
 }  // namespace tswarp::core

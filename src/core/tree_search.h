@@ -47,6 +47,13 @@ struct TreeSearchConfig {
 
   /// Sakoe-Chiba band (0 = unconstrained, the paper's setting).
   Pos band = 0;
+
+  /// Worker threads for one search. 0 = fully serial (the original
+  /// single-table DFS, byte-for-byte identical behavior and stats);
+  /// >= 1 decomposes the traversal into branch tasks executed on a
+  /// ThreadPool of that many workers. Results are identical to serial for
+  /// both range and k-NN searches (see docs/parallel_search.md).
+  std::size_t num_threads = 0;
 };
 
 /// Runs the similarity search: every subsequence of the indexed database
@@ -60,7 +67,9 @@ std::vector<Match> TreeSearch(const TreeSearchConfig& config,
 /// k subsequences with the smallest time warping distance from `query`,
 /// sorted by distance. The traversal runs with a dynamic threshold equal
 /// to the current k-th best distance, so the lower bounds prune exactly as
-/// in the range search. Ties at the k-th distance are broken arbitrarily.
+/// in the range search. Ties at the k-th distance are broken
+/// deterministically by (seq, start, len), which makes serial and parallel
+/// k-NN return exactly the same set.
 std::vector<Match> TreeSearchKnn(const TreeSearchConfig& config,
                                  std::span<const Value> query, std::size_t k,
                                  SearchStats* stats = nullptr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/logging.h"
 
@@ -52,6 +53,7 @@ StatusOr<std::size_t> BufferPool::Pin(std::uint64_t page_no) {
 }
 
 Status BufferPool::Read(std::uint64_t offset, void* out, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto* dst = static_cast<std::byte*>(out);
   while (n > 0) {
     const std::uint64_t page_no = offset / PagedFile::kPageSize;
@@ -68,6 +70,7 @@ Status BufferPool::Read(std::uint64_t offset, void* out, std::size_t n) {
 
 Status BufferPool::Write(std::uint64_t offset, const void* in,
                          std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto* src = static_cast<const std::byte*>(in);
   while (n > 0) {
     const std::uint64_t page_no = offset / PagedFile::kPageSize;
@@ -85,6 +88,7 @@ Status BufferPool::Write(std::uint64_t offset, const void* in,
 }
 
 Status BufferPool::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.dirty) {
       ++stats_.writebacks;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,14 @@ namespace tswarp::storage {
 /// only `capacity_pages` pages of the file are resident — the "disk-based
 /// representation in limited main memory" of the paper's index
 /// construction and traversal.
+///
+/// Thread safety: Read(), Write(), Flush(), stats() and logical_size() are
+/// serialized on an internal mutex, so a pool may be shared by concurrent
+/// search workers (the parallel tree searchers traverse one DiskSuffixTree
+/// from many threads). The Stats counters are updated under the same lock
+/// and therefore stay exact under concurrency. Individual operations are
+/// atomic; callers needing multi-operation atomicity (read-modify-write of
+/// one record) must add their own coordination.
 class BufferPool {
  public:
   struct Stats {
@@ -41,11 +50,17 @@ class BufferPool {
   /// Writes all dirty pages back to the file.
   Status Flush();
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   std::size_t capacity_pages() const { return capacity_; }
 
   /// Logical end of written data (high-water byte offset).
-  std::uint64_t logical_size() const { return logical_size_; }
+  std::uint64_t logical_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return logical_size_;
+  }
 
  private:
   struct Frame {
@@ -55,9 +70,11 @@ class BufferPool {
   };
 
   /// Returns the frame index holding `page_no`, faulting it in and
-  /// evicting the LRU page if needed.
+  /// evicting the LRU page if needed. Caller must hold mu_.
   StatusOr<std::size_t> Pin(std::uint64_t page_no);
 
+  /// Serializes all pool state (frames, LRU, map, stats, logical size).
+  mutable std::mutex mu_;
   PagedFile* file_;
   std::size_t capacity_;
   std::vector<Frame> frames_;

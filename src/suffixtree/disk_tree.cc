@@ -313,10 +313,11 @@ storage::BufferPool::Stats DiskSuffixTree::PoolStats() const {
   storage::BufferPool::Stats total;
   for (const storage::BufferPool* p :
        {nodes_.get(), occs_.get(), labels_.get()}) {
-    total.hits += p->stats().hits;
-    total.misses += p->stats().misses;
-    total.evictions += p->stats().evictions;
-    total.writebacks += p->stats().writebacks;
+    const storage::BufferPool::Stats s = p->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.writebacks += s.writebacks;
   }
   return total;
 }

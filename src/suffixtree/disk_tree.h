@@ -72,6 +72,14 @@ class DiskTreeWriter : public TreeSink {
 };
 
 /// Read-only TreeView over a disk tree bundle.
+///
+/// Thread safety: the read accessors (GetChildren, GetOccurrences,
+/// SubtreeOccCount, MaxRun, CollectSubtreeOccurrences, PoolStats) may be
+/// called from many threads concurrently — they share the three
+/// mutex-guarded BufferPools, and every caller-visible buffer is an
+/// out-parameter owned by the calling worker. This is what lets the
+/// parallel tree searchers traverse one disk-backed index from a whole
+/// thread pool while the pools' hit/miss/eviction Stats stay exact.
 class DiskSuffixTree : public TreeView {
  public:
   static StatusOr<std::unique_ptr<DiskSuffixTree>> Open(

@@ -48,6 +48,18 @@ double FlagDouble(int argc, char** argv, const char* flag, double fallback) {
   return v == nullptr ? fallback : std::atof(v);
 }
 
+// --threads must be a non-negative count; a negative value would wrap to a
+// huge std::size_t. Returns false (after printing) on a bad value.
+bool FlagThreads(int argc, char** argv, std::size_t* out) {
+  const long raw = FlagLong(argc, argv, "--threads", 0);
+  if (raw < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (got %ld)\n", raw);
+    return false;
+  }
+  *out = static_cast<std::size_t>(raw);
+  return true;
+}
+
 std::vector<Value> ParseQuery(const char* text) {
   std::vector<Value> out;
   if (text == nullptr) return out;
@@ -72,9 +84,10 @@ int Usage() {
                "  build DB --index PATH [--kind st|stc|sstc] "
                "[--categories C] [--method el|me|km]\n"
                "  search DB --query v1,v2,... --epsilon E [--kind ...] "
-               "[--categories C] [--index PATH] [--scan] [--limit N]\n"
+               "[--categories C] [--index PATH] [--scan] [--limit N] "
+               "[--threads T] [--stats]\n"
                "  knn DB --query v1,v2,... --k K [--kind ...] "
-               "[--categories C]\n"
+               "[--categories C] [--threads T] [--stats]\n"
                "  dot DB [--categories C] [--max-nodes N]\n");
   return 2;
 }
@@ -82,6 +95,37 @@ int Usage() {
 StatusOr<seqdb::SequenceDatabase> LoadDb(int argc, char** argv) {
   if (argc < 3) return Status::InvalidArgument("missing database path");
   return seqdb::SequenceDatabase::Load(argv[2]);
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Prints the merged traversal counters and, for disk-backed indexes, the
+/// aggregate buffer-pool cache behavior of this query.
+void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
+  std::printf(
+      "stats: nodes %llu, rows %llu (+%llu replayed), pruned %llu, "
+      "candidates %llu, endpoint-rejected %llu, exact DTW %llu\n",
+      static_cast<unsigned long long>(stats.nodes_visited),
+      static_cast<unsigned long long>(stats.rows_pushed),
+      static_cast<unsigned long long>(stats.replayed_rows),
+      static_cast<unsigned long long>(stats.branches_pruned),
+      static_cast<unsigned long long>(stats.candidates),
+      static_cast<unsigned long long>(stats.endpoint_rejections),
+      static_cast<unsigned long long>(stats.exact_dtw_calls));
+  if (index.disk_tree() != nullptr) {
+    const auto pool = index.disk_tree()->PoolStats();
+    std::printf("pool:  hits %llu, misses %llu, evictions %llu, "
+                "writebacks %llu\n",
+                static_cast<unsigned long long>(pool.hits),
+                static_cast<unsigned long long>(pool.misses),
+                static_cast<unsigned long long>(pool.evictions),
+                static_cast<unsigned long long>(pool.writebacks));
+  }
 }
 
 IndexOptions OptionsFromFlags(int argc, char** argv) {
@@ -210,10 +254,7 @@ int CmdSearch(int argc, char** argv) {
       static_cast<std::size_t>(FlagLong(argc, argv, "--limit", 20));
 
   std::vector<Match> matches;
-  bool scanned = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scan") == 0) scanned = true;
-  }
+  const bool scanned = HasFlag(argc, argv, "--scan");
   if (scanned) {
     matches = core::SeqScan(*db, query, epsilon);
   } else {
@@ -230,7 +271,11 @@ int CmdSearch(int argc, char** argv) {
                    index.status().ToString().c_str());
       return 1;
     }
-    matches = index->Search(query, epsilon);
+    core::QueryOptions query_options;
+    if (!FlagThreads(argc, argv, &query_options.num_threads)) return 1;
+    core::SearchStats stats;
+    matches = index->Search(query, epsilon, query_options, &stats);
+    if (HasFlag(argc, argv, "--stats")) PrintSearchStats(*index, stats);
   }
   std::printf("%zu matches (epsilon %.3f)\n", matches.size(), epsilon);
   for (std::size_t i = 0; i < matches.size() && i < limit; ++i) {
@@ -260,7 +305,12 @@ int CmdKnn(int argc, char** argv) {
                  index.status().ToString().c_str());
     return 1;
   }
-  const std::vector<Match> knn = index->SearchKnn(query, k);
+  core::QueryOptions query_options;
+  if (!FlagThreads(argc, argv, &query_options.num_threads)) return 1;
+  core::SearchStats stats;
+  const std::vector<Match> knn =
+      index->SearchKnn(query, k, query_options, &stats);
+  if (HasFlag(argc, argv, "--stats")) PrintSearchStats(*index, stats);
   std::printf("%zu nearest subsequences:\n", knn.size());
   for (const Match& m : knn) {
     std::printf("  S%u[%u..%u] len %u  D_tw %.4f\n", m.seq, m.start,
