@@ -8,6 +8,7 @@
 #include "datagen/generators.h"
 #include "dtw/alignment.h"
 #include "dtw/dtw.h"
+#include "dtw/envelope.h"
 #include "dtw/warping_table.h"
 #include "suffixtree/merge.h"
 #include "suffixtree/suffix_tree.h"
@@ -122,6 +123,105 @@ void BM_DtwLowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DtwLowerBound)->Arg(20)->Arg(100);
+
+// --- Envelope lower-bound cascade kernels -------------------------------
+// Kernel cost of each cascade stage, plus the prune rate the LB_Keogh /
+// LB_Improved pair achieves on random-walk candidates at a given epsilon
+// (reported as the "pruned" counter).
+
+void BM_BuildEnvelope(benchmark::State& state) {
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto band = static_cast<Pos>(state.range(1));
+  for (auto _ : state) {
+    dtw::QueryEnvelope env(q, band);
+    benchmark::DoNotOptimize(env.reach());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildEnvelope)
+    ->Args({20, 0})
+    ->Args({20, 5})
+    ->Args({100, 0})
+    ->Args({100, 10});
+
+void BM_LbKeogh(benchmark::State& state) {
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto s = RandomSequence(static_cast<std::size_t>(state.range(0)), 2);
+  const dtw::QueryEnvelope env(q, static_cast<Pos>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::LbKeogh(env, s));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LbKeogh)->Args({20, 0})->Args({100, 0})->Args({100, 10});
+
+void BM_LbImproved(benchmark::State& state) {
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto s = RandomSequence(static_cast<std::size_t>(state.range(0)), 2);
+  const dtw::QueryEnvelope env(q, static_cast<Pos>(state.range(1)));
+  dtw::EnvelopeScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dtw::LbImproved(env, q, s, kInfinity, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LbImproved)->Args({20, 0})->Args({100, 0})->Args({100, 10});
+
+void BM_DtwWithinThresholdLb(benchmark::State& state) {
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto s = RandomSequence(static_cast<std::size_t>(state.range(0)), 2);
+  const dtw::QueryEnvelope env(q, 0);
+  const Value eps = static_cast<Value>(state.range(1));
+  dtw::EnvelopeScratch scratch;
+  for (auto _ : state) {
+    Value d = 0;
+    benchmark::DoNotOptimize(
+        dtw::DtwWithinThresholdLb(q, s, env, eps, &d, &scratch));
+  }
+}
+BENCHMARK(BM_DtwWithinThresholdLb)
+    ->Args({64, 5})
+    ->Args({64, 50})
+    ->Args({256, 5})
+    ->Args({256, 50});
+
+void BM_LbCascadePruneRate(benchmark::State& state) {
+  // Screens `kCandidates` random-walk candidates against one query; the
+  // "pruned" counter is the cascade's kill rate at this epsilon, the
+  // "exact" counter what still reaches the exact kernel.
+  constexpr int kCandidates = 256;
+  const auto q = RandomSequence(20, 1);
+  const dtw::QueryEnvelope env(q, 0);
+  std::vector<std::vector<Value>> candidates;
+  for (int i = 0; i < kCandidates; ++i) {
+    candidates.push_back(
+        RandomSequence(10 + static_cast<std::size_t>(i) % 30,
+                       static_cast<std::uint64_t>(i) + 2));
+  }
+  const Value eps = static_cast<Value>(state.range(0));
+  dtw::EnvelopeScratch scratch;
+  std::int64_t pruned = 0, exact = 0;
+  for (auto _ : state) {
+    for (const auto& s : candidates) {
+      if (dtw::LbImproved(env, q, s, eps, &scratch) > eps) {
+        ++pruned;
+        continue;
+      }
+      ++exact;
+      Value d = 0;
+      benchmark::DoNotOptimize(
+          dtw::DtwWithinThresholdLb(q, s, env, eps, &d, &scratch));
+    }
+  }
+  state.counters["pruned"] =
+      benchmark::Counter(static_cast<double>(pruned),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["exact"] =
+      benchmark::Counter(static_cast<double>(exact),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_LbCascadePruneRate)->Arg(5)->Arg(20)->Arg(80);
 
 void BM_DtwAlign(benchmark::State& state) {
   const auto a = RandomSequence(static_cast<std::size_t>(state.range(0)), 8);

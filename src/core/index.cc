@@ -239,6 +239,7 @@ TreeSearchConfig MakeConfig(const Index& index,
   config.alphabet = alphabet;
   config.symbol_values = config.exact ? symbol_values : nullptr;
   config.prune = query_options.prune;
+  config.use_lower_bound = query_options.use_lower_bound;
   config.band = query_options.band;
   config.num_threads = query_options.num_threads;
   return config;

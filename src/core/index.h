@@ -71,6 +71,10 @@ struct QueryOptions {
   Pos band = 0;
   /// Theorem-1 pruning (ablation hook).
   bool prune = true;
+  /// Envelope lower-bound cascade (LB_Keogh / LB_Improved) in the
+  /// post-processing pass; answers are identical either way (ablation
+  /// hook, see bench/ablation_lowerbound and docs/tuning.md).
+  bool use_lower_bound = true;
   /// Worker threads. 0 = serial (the original single-threaded traversal).
   /// For Search/SearchKnn, >= 1 parallelizes one query's tree traversal
   /// across branch tasks; for SearchBatch it sizes the pool that fans

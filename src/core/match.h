@@ -44,6 +44,12 @@ struct SearchStats {
   std::uint64_t candidates = 0;         // Subsequences entering PostProcess.
   std::uint64_t endpoint_rejections = 0;  // Candidates killed by the O(1)
                                           // endpoint lower bound.
+  // Envelope lower-bound cascade (LB_Keogh / LB_Improved prefilter; see
+  // docs/tuning.md "Lower-bound cascade"). In the tree search an
+  // invocation is one candidate screened; in SeqScan it is one suffix
+  // whose extension loop ran under the running-envelope bound.
+  std::uint64_t lb_invocations = 0;     // Envelope bounds evaluated.
+  std::uint64_t lb_pruned = 0;          // Candidates/extensions it killed.
   std::uint64_t exact_dtw_calls = 0;    // Exact distance computations.
   std::uint64_t answers = 0;            // Final matches.
   // Prefix rows re-pushed by parallel workers entering a branch task (the
@@ -62,6 +68,8 @@ struct SearchStats {
     branches_pruned += other.branches_pruned;
     candidates += other.candidates;
     endpoint_rejections += other.endpoint_rejections;
+    lb_invocations += other.lb_invocations;
+    lb_pruned += other.lb_pruned;
     exact_dtw_calls += other.exact_dtw_calls;
     answers += other.answers;
     replayed_rows += other.replayed_rows;

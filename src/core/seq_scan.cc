@@ -1,6 +1,9 @@
 #include "core/seq_scan.h"
 
+#include <optional>
+
 #include "common/logging.h"
+#include "dtw/envelope.h"
 #include "dtw/warping_table.h"
 
 namespace tswarp::core {
@@ -11,12 +14,27 @@ std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
   TSW_CHECK(!query.empty());
   SearchStats local;
   std::vector<Match> out;
+  // Running LB_Keogh cascade: D_tw(Q, S[p:q]) >= sum of the elements'
+  // envelope distances, and the sum only grows with q, so once it passes
+  // epsilon every further extension of this suffix is out too — an O(1)
+  // per-element cut ahead of the O(|Q|) row build + Theorem-1 test.
+  std::optional<dtw::QueryEnvelope> env;
+  if (options.use_lower_bound) env.emplace(query, options.band);
   for (SeqId id = 0; id < db.size(); ++id) {
     const seqdb::Sequence& s = db.sequence(id);
     const auto n = static_cast<Pos>(s.size());
     for (Pos p = 0; p < n; ++p) {
       dtw::WarpingTable table(query, options.band);
+      Value running_lb = 0.0;
+      if (env.has_value()) ++local.lb_invocations;
       for (Pos q = p; q < n; ++q) {
+        if (env.has_value()) {
+          running_lb += env->ElementLb(q - p, s[q]);
+          if (running_lb > epsilon) {
+            ++local.lb_pruned;
+            break;
+          }
+        }
         table.PushRowValue(s[q]);
         ++local.rows_pushed;
         const Value dist = table.LastColumn();

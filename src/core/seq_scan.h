@@ -16,6 +16,13 @@ struct SeqScanOptions {
   /// exceeds epsilon. Disable only for the pruning ablation.
   bool prune = true;
 
+  /// Running envelope lower bound (LB_Keogh accumulated element by
+  /// element): a suffix extension whose accumulated bound exceeds epsilon
+  /// is cut O(|Q|) earlier than Theorem 1 can cut it, without building
+  /// the row at all. Answers are identical either way; disable only for
+  /// the bench/ablation_lowerbound ablation.
+  bool use_lower_bound = true;
+
   /// Sakoe-Chiba band (0 = unconstrained warping, the paper's setting).
   Pos band = 0;
 };

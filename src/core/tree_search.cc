@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "dtw/base.h"
 #include "dtw/dtw.h"
+#include "dtw/envelope.h"
 #include "dtw/warping_table.h"
 
 namespace tswarp::core {
@@ -62,11 +64,23 @@ struct SharedSearchState {
       : config(config_in),
         query(query_in),
         knn_k(knn_k_in),
-        epsilon(knn_k_in > 0 ? kInfinity : epsilon_in) {}
+        epsilon(knn_k_in > 0 ? kInfinity : epsilon_in) {
+    // The envelope depends only on (query, band): build it once and share
+    // it read-only across workers. Exact mode has no post-processing, so
+    // no candidate ever consults it.
+    if (config_in.use_lower_bound && !config_in.exact) {
+      envelope = std::make_unique<dtw::QueryEnvelope>(query_in,
+                                                      config_in.band);
+    }
+  }
 
   const TreeSearchConfig& config;
   const std::span<const Value> query;
   const std::size_t knn_k;
+
+  /// Query envelope of the lower-bound cascade; non-null iff the cascade
+  /// is active for this search.
+  std::unique_ptr<const dtw::QueryEnvelope> envelope;
 
   /// Current pruning threshold. Fixed in range mode; in k-NN mode it
   /// shrinks to the k-th best distance found so far.
@@ -292,7 +306,11 @@ class SearchWorker {
     return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
   }
 
-  /// Exact verification of one candidate subsequence.
+  /// Exact verification of one candidate subsequence, behind a cascade of
+  /// ever-more-expensive screens: O(1) endpoints, O(len) LB_Keogh +
+  /// O(len + |Q|) LB_Improved, then the O(|Q| len) exact kernel (itself
+  /// abandoning early on the prefix lower bound). Every screen is a true
+  /// lower bound, so no candidate within epsilon is ever dismissed.
   void PostProcess(SeqId seq, Pos start, Pos len) {
     ++stats_.candidates;
     const std::span<const Value> sub = config_.db->Subsequence(seq, start,
@@ -303,9 +321,22 @@ class SearchWorker {
       ++stats_.endpoint_rejections;
       return;
     }
+    const dtw::QueryEnvelope* env = shared_.envelope.get();
+    if (env != nullptr) {
+      ++stats_.lb_invocations;
+      if (dtw::LbImproved(*env, query_, sub, eps, &lb_scratch_) > eps) {
+        ++stats_.lb_pruned;
+        return;
+      }
+    }
     ++stats_.exact_dtw_calls;
     Value d = 0.0;
-    if (config_.band != 0) {
+    if (env != nullptr) {
+      if (!dtw::DtwWithinThresholdLb(query_, sub, *env, eps, &d,
+                                     &lb_scratch_)) {
+        return;
+      }
+    } else if (config_.band != 0) {
       d = dtw::DtwDistanceBanded(query_, sub, config_.band);
       if (d > eps) return;
     } else if (!dtw::DtwWithinThreshold(query_, sub, eps, &d)) {
@@ -348,6 +379,7 @@ class SearchWorker {
   std::span<const Value> query_;
   const std::size_t knn_k_;
   dtw::WarpingTable table_;
+  dtw::EnvelopeScratch lb_scratch_;
   std::vector<OccurrenceRec> occ_buf_;
   std::vector<Frame> frames_;
   // Per-depth children buffers, reused across the whole traversal so the

@@ -45,6 +45,14 @@ struct TreeSearchConfig {
   /// Theorem-1 branch pruning; disable only for the R_p ablation.
   bool prune = true;
 
+  /// Envelope lower-bound cascade (LB_Keogh / LB_Improved) screening
+  /// post-processing candidates before the exact DTW, plus the
+  /// prefix-lower-bound early abandon inside the exact kernel. Exactness
+  /// is unaffected (no false dismissals); disable only for the
+  /// bench/ablation_lowerbound ablation. No-op in exact mode, which has
+  /// no post-processing pass.
+  bool use_lower_bound = true;
+
   /// Sakoe-Chiba band (0 = unconstrained, the paper's setting).
   Pos band = 0;
 

@@ -1,0 +1,239 @@
+// Randomized differential-testing harness for the envelope lower-bound
+// fast path. Two claims are exercised with seeded random cases:
+//
+//  1. The bound chain LB_Keogh <= LB_Improved <= D_tw holds for every
+//     (query, candidate, band) — the exactness precondition of the whole
+//     cascade — and the prefix-abandoning exact kernel agrees with the
+//     plain one on membership and distance.
+//  2. The fast-path searches (envelope cascade on, the default) return
+//     byte-identical Match sets to the unfiltered engine for range and
+//     k-NN queries, serial and multi-threaded, across all index kinds and
+//     for the SeqScan baseline.
+//
+// Sequences mix three adversarial shapes: Gaussian random walks, spike
+// trains (flat with rare large jumps — stresses the envelope edges), and
+// constant runs (stresses sparse-suffix recovery and zero-width
+// envelopes). Lengths span 1..64. Everything is seeded: a failure report
+// names the case's seed, so any case replays deterministically.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index.h"
+#include "core/seq_scan.h"
+#include "dtw/dtw.h"
+#include "dtw/envelope.h"
+#include "seqdb/sequence_database.h"
+
+namespace tswarp {
+namespace {
+
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::Match;
+using core::QueryOptions;
+using core::SeqScanOptions;
+
+/// One random sequence of length `n`, shape selected by `shape % 3`.
+std::vector<Value> RandomShape(Rng* rng, std::size_t n, std::uint64_t shape) {
+  std::vector<Value> v;
+  v.reserve(n);
+  switch (shape % 3) {
+    case 0: {  // Gaussian random walk.
+      Value x = rng->Uniform(-10, 10);
+      for (std::size_t i = 0; i < n; ++i) {
+        x += rng->Gaussian(0, 1);
+        v.push_back(x);
+      }
+      break;
+    }
+    case 1: {  // Spike train: flat baseline, rare large excursions.
+      const Value base = rng->Uniform(-5, 5);
+      for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(rng->Coin(0.1) ? base + rng->Uniform(-50, 50)
+                                   : base + rng->Gaussian(0, 0.1));
+      }
+      break;
+    }
+    default: {  // Piecewise-constant runs.
+      Value level = rng->Uniform(-8, 8);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng->Coin(0.25)) level = rng->Uniform(-8, 8);
+        v.push_back(level);
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+/// Byte-level equality: same order, same (seq, start, len), and exactly
+/// the same distance doubles — the fast path must not perturb a single
+/// bit of the output.
+void ExpectByteIdentical(const std::vector<Match>& expected,
+                         const std::vector<Match>& actual,
+                         const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].seq, actual[i].seq) << context << " at " << i;
+    EXPECT_EQ(expected[i].start, actual[i].start) << context << " at " << i;
+    EXPECT_EQ(expected[i].len, actual[i].len) << context << " at " << i;
+    EXPECT_EQ(expected[i].distance, actual[i].distance)
+        << context << " at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Claim 1: the bound chain, >= 1000 seeded random cases.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialTest, BoundChainHoldsOnRandomCases) {
+  constexpr int kCases = 1200;
+  dtw::EnvelopeScratch scratch;
+  for (std::uint64_t seed = 1; seed <= kCases; ++seed) {
+    Rng rng(seed);
+    const std::size_t qlen =
+        static_cast<std::size_t>(rng.UniformInt(1, 64));
+    const std::size_t slen =
+        static_cast<std::size_t>(rng.UniformInt(1, 64));
+    const std::vector<Value> q = RandomShape(&rng, qlen, seed);
+    const std::vector<Value> s = RandomShape(&rng, slen, seed / 3);
+    constexpr Pos kBands[] = {0, 1, 3, 8, 64};
+    const Pos band = kBands[static_cast<std::size_t>(rng.UniformInt(0, 4))];
+
+    const dtw::QueryEnvelope env(q, band);
+    const Value keogh = dtw::LbKeogh(env, s);
+    const Value improved = dtw::LbImproved(env, q, s, kInfinity, &scratch);
+    const Value exact = band == 0 ? dtw::DtwDistance(q, s)
+                                  : dtw::DtwDistanceBanded(q, s, band);
+    ASSERT_LE(keogh, improved + 1e-9)
+        << "LB_Keogh > LB_Improved, seed=" << seed << " band=" << band;
+    ASSERT_LE(improved, exact + 1e-9)
+        << "LB_Improved > D_tw, seed=" << seed << " band=" << band
+        << " |Q|=" << qlen << " |S|=" << slen;
+
+    // The prefix-abandoning kernel must agree with the plain one on
+    // membership and, when inside, on the exact distance.
+    const Value eps = rng.Uniform(0, 2) * (exact == kInfinity
+                                               ? 100.0
+                                               : exact + 0.25);
+    Value got = -1.0;
+    const bool in = dtw::DtwWithinThresholdLb(q, s, env, eps, &got,
+                                              &scratch);
+    ASSERT_EQ(in, exact <= eps) << "seed=" << seed << " band=" << band;
+    if (in) {
+      ASSERT_EQ(got, exact) << "seed=" << seed << " band=" << band;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Claim 2: fast-path searches are byte-identical to the unfiltered engine.
+// ---------------------------------------------------------------------------
+
+seqdb::SequenceDatabase RandomDb(std::uint64_t seed) {
+  Rng rng(seed);
+  seqdb::SequenceDatabase db;
+  const int num_sequences = static_cast<int>(rng.UniformInt(6, 12));
+  for (int i = 0; i < num_sequences; ++i) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 40));
+    db.Add(RandomShape(&rng, n, seed + static_cast<std::uint64_t>(i)));
+  }
+  return db;
+}
+
+TEST(DifferentialTest, FastPathSearchByteIdenticalAcrossEngines) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const seqdb::SequenceDatabase db = RandomDb(seed);
+    Rng rng(1000 + seed);
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(2, 10)), seed);
+    const Value eps = rng.Uniform(0.5, 12.0);
+
+    for (const IndexKind kind : {IndexKind::kSuffixTree,
+                                 IndexKind::kCategorized,
+                                 IndexKind::kSparse}) {
+      IndexOptions options;
+      options.kind = kind;
+      options.num_categories = 8;
+      auto index = Index::Build(&db, options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+      QueryOptions slow;
+      slow.use_lower_bound = false;
+      const std::vector<Match> reference = index->Search(q, eps, slow);
+      const std::vector<Match> knn_reference = index->SearchKnn(q, 7, slow);
+      for (const std::size_t threads : {0u, 2u, 3u}) {
+        QueryOptions fast;
+        fast.num_threads = threads;
+        const std::string ctx = std::string(core::IndexKindToString(kind)) +
+                                " seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+        ExpectByteIdentical(reference, index->Search(q, eps, fast),
+                            "range " + ctx);
+        ExpectByteIdentical(knn_reference, index->SearchKnn(q, 7, fast),
+                            "knn " + ctx);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, FastPathBandedSearchByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const seqdb::SequenceDatabase db = RandomDb(50 + seed);
+    Rng rng(2000 + seed);
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(3, 10)), seed);
+    const Value eps = rng.Uniform(0.5, 8.0);
+    // Banded searches need a dense index (sparse recovery is unsound
+    // under a band).
+    IndexOptions options;
+    options.kind = IndexKind::kCategorized;
+    options.num_categories = 8;
+    auto index = Index::Build(&db, options);
+    ASSERT_TRUE(index.ok());
+    for (const Pos band : {1u, 2u, 4u}) {
+      QueryOptions slow;
+      slow.band = band;
+      slow.use_lower_bound = false;
+      QueryOptions fast;
+      fast.band = band;
+      ExpectByteIdentical(index->Search(q, eps, slow),
+                          index->Search(q, eps, fast),
+                          "banded range seed=" + std::to_string(seed) +
+                              " band=" + std::to_string(band));
+      ExpectByteIdentical(index->SearchKnn(q, 5, slow),
+                          index->SearchKnn(q, 5, fast),
+                          "banded knn seed=" + std::to_string(seed) +
+                              " band=" + std::to_string(band));
+    }
+  }
+}
+
+TEST(DifferentialTest, SeqScanCascadeByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const seqdb::SequenceDatabase db = RandomDb(100 + seed);
+    Rng rng(3000 + seed);
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(1, 12)), seed);
+    const Value eps = rng.Uniform(0.0, 10.0);
+    for (const Pos band : {0u, 2u}) {
+      SeqScanOptions slow;
+      slow.band = band;
+      slow.use_lower_bound = false;
+      SeqScanOptions fast;
+      fast.band = band;
+      ExpectByteIdentical(core::SeqScan(db, q, eps, slow),
+                          core::SeqScan(db, q, eps, fast),
+                          "seqscan seed=" + std::to_string(seed) +
+                              " band=" + std::to_string(band));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tswarp

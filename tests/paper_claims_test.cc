@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "core/dictionary.h"
 #include "core/index.h"
 #include "core/seq_scan.h"
+#include "datagen/generators.h"
 #include "dtw/dtw.h"
 #include "dtw/warping_table.h"
 #include "suffixtree/suffix_tree.h"
@@ -175,6 +178,72 @@ TEST(PaperClaimsTest, NoFalseDismissalOnIntroSequences) {
     }
     EXPECT_TRUE(s0) << "stretched occurrence dismissed";
     EXPECT_TRUE(s1) << "literal occurrence dismissed";
+  }
+}
+
+// Abstract, sharpened for the envelope fast path: the LB_Keogh /
+// LB_Improved prefilter added in front of the exact-DTW post-processing
+// must keep the no-false-dismissal guarantee. On the paper workload the
+// lb-prefiltered results must equal the unfiltered results across an
+// epsilon sweep that includes the exactness edges: epsilon = 0 (only
+// exact warping matches survive every screen) and an epsilon large
+// enough that everything matches (no screen may fire spuriously).
+TEST(PaperClaimsTest, LowerBoundCascadeNeverDismissesOnPaperWorkload) {
+  datagen::StockOptions gen;  // The paper's stock model, shrunk for test
+  gen.num_sequences = 24;     // runtime; same value distribution.
+  gen.avg_length = 50;
+  gen.seed = 4;
+  const seqdb::SequenceDatabase db = datagen::GenerateStocks(gen);
+  // A query cut from the data so epsilon = 0 has at least one answer.
+  const std::vector<Value> q(db.sequence(5).begin() + 7,
+                             db.sequence(5).begin() + 13);
+  // Matching everything needs epsilon >= max D_tw; bound it by the value
+  // range: every path cell costs at most (hi - lo), and a path has at
+  // most |Q| + max_len cells.
+  const auto [lo, hi] = db.ValueRange();
+  Value max_len = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    max_len = std::max(max_len, static_cast<Value>(db.sequence(id).size()));
+  }
+  const Value match_all =
+      (hi - lo) * (static_cast<Value>(q.size()) + max_len);
+
+  for (core::IndexKind kind : {core::IndexKind::kSuffixTree,
+                               core::IndexKind::kCategorized,
+                               core::IndexKind::kSparse}) {
+    core::IndexOptions options;
+    options.kind = kind;
+    options.num_categories = 10;
+    auto index = core::Index::Build(&db, options);
+    ASSERT_TRUE(index.ok());
+    for (const Value eps : {0.0, 1.0, 5.0, 25.0, match_all}) {
+      core::QueryOptions unfiltered;
+      unfiltered.use_lower_bound = false;
+      const auto expected = index->Search(q, eps, unfiltered);
+      const auto fast = index->Search(q, eps, {});
+      testutil::ExpectSameMatches(
+          expected, fast,
+          std::string(core::IndexKindToString(kind)) + " eps=" +
+              std::to_string(eps));
+      if (eps == 0.0) {
+        EXPECT_FALSE(fast.empty()) << "the embedded query itself must "
+                                      "survive the cascade at epsilon 0";
+      }
+      if (eps == match_all) {
+        // Every subsequence matches: the screens must all pass through.
+        std::uint64_t total = 0;
+        for (SeqId id = 0; id < db.size(); ++id) {
+          const auto n = db.sequence(id).size();
+          total += n * (n + 1) / 2;
+        }
+        EXPECT_EQ(fast.size(), total);
+      }
+    }
+    // The same sweep against the SeqScan ground truth at one mid epsilon.
+    testutil::ExpectSameMatches(core::SeqScan(db, q, 5.0),
+                                index->Search(q, 5.0, {}),
+                                std::string("vs-scan ") +
+                                    core::IndexKindToString(kind));
   }
 }
 

@@ -76,9 +76,48 @@ TEST(SearchStatsTest, SeqScanAccountingIdentities) {
   const auto matches = SeqScan(db, q, 5.0, {}, &stats);
   EXPECT_EQ(stats.answers, matches.size());
   EXPECT_EQ(stats.cells_computed, stats.rows_pushed * q.size());
-  // With pruning, at most one row per element plus extensions; at least
-  // one row per suffix.
-  EXPECT_GE(stats.rows_pushed, db.TotalElements());
+  // Every suffix either pushes at least one row or is cut by the running
+  // envelope bound before its first row; the cascade runs once per suffix.
+  EXPECT_GE(stats.rows_pushed + stats.lb_pruned, db.TotalElements());
+  EXPECT_EQ(stats.lb_invocations, db.TotalElements());
+
+  // Without the cascade every suffix builds at least one row, and the
+  // match set is unchanged.
+  SeqScanOptions no_lb;
+  no_lb.use_lower_bound = false;
+  SearchStats plain;
+  const auto unfiltered = SeqScan(db, q, 5.0, no_lb, &plain);
+  EXPECT_GE(plain.rows_pushed, db.TotalElements());
+  EXPECT_EQ(plain.lb_invocations, 0u);
+  EXPECT_EQ(plain.lb_pruned, 0u);
+  EXPECT_EQ(unfiltered.size(), matches.size());
+}
+
+TEST(SearchStatsTest, LowerBoundCascadeCountsOnTreeSearch) {
+  const seqdb::SequenceDatabase db = Db();
+  IndexOptions options;
+  options.kind = IndexKind::kSparse;
+  options.num_categories = 4;  // Loose filter -> many candidates to screen.
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+  SearchStats stats;
+  index->Search(Query(db), 3.0, {}, &stats);
+  // Everything surviving the endpoint screen is screened by the envelope
+  // cascade; exact DTW only runs on what the cascade admits.
+  EXPECT_EQ(stats.lb_invocations,
+            stats.candidates - stats.endpoint_rejections);
+  EXPECT_EQ(stats.exact_dtw_calls, stats.lb_invocations - stats.lb_pruned);
+  EXPECT_GT(stats.lb_pruned, 0u)
+      << "with 4 categories and a tight epsilon the envelope bound should "
+         "kill candidates the endpoint screen admits";
+
+  QueryOptions no_lb;
+  no_lb.use_lower_bound = false;
+  SearchStats plain;
+  index->Search(Query(db), 3.0, no_lb, &plain);
+  EXPECT_EQ(plain.lb_invocations, 0u);
+  EXPECT_EQ(plain.lb_pruned, 0u);
+  EXPECT_GE(plain.exact_dtw_calls, stats.exact_dtw_calls);
 }
 
 TEST(SearchStatsTest, RdGrowsWithCoarserCategories) {

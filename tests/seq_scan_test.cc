@@ -82,14 +82,22 @@ TEST(SeqScanTest, PruningCutsWorkAtSmallEpsilon) {
   options.seed = 9;
   const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(options);
   const std::vector<Value> q = {1000.0, 1001.0};  // Far from all data.
-  SeqScanOptions no_prune;
+  // Isolate Theorem 1 from the (even earlier) envelope cascade.
+  SeqScanOptions prune_only;
+  prune_only.use_lower_bound = false;
+  SeqScanOptions no_prune = prune_only;
   no_prune.prune = false;
   SearchStats pruned_stats, full_stats;
-  SeqScan(db, q, 0.5, {}, &pruned_stats);
+  SeqScan(db, q, 0.5, prune_only, &pruned_stats);
   SeqScan(db, q, 0.5, no_prune, &full_stats);
   // Theorem 1 fires on the first row of every suffix.
   EXPECT_EQ(pruned_stats.rows_pushed, db.TotalElements());
   EXPECT_GT(full_stats.rows_pushed, 4 * pruned_stats.rows_pushed);
+  // The envelope cascade cuts the same suffixes before any row is built.
+  SearchStats lb_stats;
+  SeqScan(db, q, 0.5, {}, &lb_stats);
+  EXPECT_EQ(lb_stats.rows_pushed, 0u);
+  EXPECT_EQ(lb_stats.lb_pruned, db.TotalElements());
 }
 
 TEST(SeqScanTest, ReportsDistances) {

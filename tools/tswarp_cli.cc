@@ -60,6 +60,28 @@ bool FlagThreads(int argc, char** argv, std::size_t* out) {
   return true;
 }
 
+// --band must be in [0, |Q|]: negative values would wrap, and a band wider
+// than the query adds no legal warping paths — it only degenerates the
+// query envelope, so treat it as a usage error rather than silently
+// accepting it. 0 means unconstrained warping.
+bool FlagBand(int argc, char** argv, std::size_t query_length, Pos* out) {
+  const long raw = FlagLong(argc, argv, "--band", 0);
+  if (raw < 0) {
+    std::fprintf(stderr, "--band must be >= 0 (got %ld)\n", raw);
+    return false;
+  }
+  if (static_cast<std::size_t>(raw) > query_length) {
+    std::fprintf(stderr,
+                 "--band %ld exceeds the query length %zu; a band wider "
+                 "than the query is meaningless (use --band 0 for "
+                 "unconstrained warping)\n",
+                 raw, query_length);
+    return false;
+  }
+  *out = static_cast<Pos>(raw);
+  return true;
+}
+
 std::vector<Value> ParseQuery(const char* text) {
   std::vector<Value> out;
   if (text == nullptr) return out;
@@ -85,9 +107,10 @@ int Usage() {
                "[--categories C] [--method el|me|km]\n"
                "  search DB --query v1,v2,... --epsilon E [--kind ...] "
                "[--categories C] [--index PATH] [--scan] [--limit N] "
-               "[--threads T] [--stats]\n"
+               "[--threads T] [--band B] [--no-lb] [--stats]\n"
                "  knn DB --query v1,v2,... --k K [--kind ...] "
-               "[--categories C] [--threads T] [--stats]\n"
+               "[--categories C] [--threads T] [--band B] [--no-lb] "
+               "[--stats]\n"
                "  dot DB [--categories C] [--max-nodes N]\n");
   return 2;
 }
@@ -109,13 +132,16 @@ bool HasFlag(int argc, char** argv, const char* flag) {
 void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
   std::printf(
       "stats: nodes %llu, rows %llu (+%llu replayed), pruned %llu, "
-      "candidates %llu, endpoint-rejected %llu, exact DTW %llu\n",
+      "candidates %llu, endpoint-rejected %llu, lb-screened %llu, "
+      "lb-pruned %llu, exact DTW %llu\n",
       static_cast<unsigned long long>(stats.nodes_visited),
       static_cast<unsigned long long>(stats.rows_pushed),
       static_cast<unsigned long long>(stats.replayed_rows),
       static_cast<unsigned long long>(stats.branches_pruned),
       static_cast<unsigned long long>(stats.candidates),
       static_cast<unsigned long long>(stats.endpoint_rejections),
+      static_cast<unsigned long long>(stats.lb_invocations),
+      static_cast<unsigned long long>(stats.lb_pruned),
       static_cast<unsigned long long>(stats.exact_dtw_calls));
   if (index.disk_tree() != nullptr) {
     const auto pool = index.disk_tree()->PoolStats();
@@ -256,7 +282,10 @@ int CmdSearch(int argc, char** argv) {
   std::vector<Match> matches;
   const bool scanned = HasFlag(argc, argv, "--scan");
   if (scanned) {
-    matches = core::SeqScan(*db, query, epsilon);
+    core::SeqScanOptions scan_options;
+    if (!FlagBand(argc, argv, query.size(), &scan_options.band)) return 1;
+    scan_options.use_lower_bound = !HasFlag(argc, argv, "--no-lb");
+    matches = core::SeqScan(*db, query, epsilon, scan_options);
   } else {
     IndexOptions options = OptionsFromFlags(argc, argv);
     StatusOr<Index> index = Status::NotFound("");
@@ -273,6 +302,15 @@ int CmdSearch(int argc, char** argv) {
     }
     core::QueryOptions query_options;
     if (!FlagThreads(argc, argv, &query_options.num_threads)) return 1;
+    if (!FlagBand(argc, argv, query.size(), &query_options.band)) return 1;
+    query_options.use_lower_bound = !HasFlag(argc, argv, "--no-lb");
+    if (query_options.band != 0 &&
+        index->options().kind == IndexKind::kSparse) {
+      std::fprintf(stderr,
+                   "--band needs a dense index (--kind stc or st): sparse "
+                   "suffix recovery is unsound under a band\n");
+      return 1;
+    }
     core::SearchStats stats;
     matches = index->Search(query, epsilon, query_options, &stats);
     if (HasFlag(argc, argv, "--stats")) PrintSearchStats(*index, stats);
@@ -307,6 +345,15 @@ int CmdKnn(int argc, char** argv) {
   }
   core::QueryOptions query_options;
   if (!FlagThreads(argc, argv, &query_options.num_threads)) return 1;
+  if (!FlagBand(argc, argv, query.size(), &query_options.band)) return 1;
+  query_options.use_lower_bound = !HasFlag(argc, argv, "--no-lb");
+  if (query_options.band != 0 &&
+      index->options().kind == IndexKind::kSparse) {
+    std::fprintf(stderr,
+                 "--band needs a dense index (--kind stc or st): sparse "
+                 "suffix recovery is unsound under a band\n");
+    return 1;
+  }
   core::SearchStats stats;
   const std::vector<Match> knn =
       index->SearchKnn(query, k, query_options, &stats);
