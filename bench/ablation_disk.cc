@@ -42,8 +42,9 @@ int Run(int argc, char** argv) {
   std::printf("Ablation A4: disk-resident indexes, %zu stock sequences, "
               "epsilon %.0f, %zu queries\n\n",
               db.size(), epsilon, queries.size());
-  std::printf("%-8s %-10s %12s %12s %14s\n", "index", "pool", "size KB",
-              "time (s)", "pool misses");
+  std::printf("%-8s %-10s %12s %12s %14s %12s %12s\n", "index", "pool",
+              "size KB", "time (s)", "pool misses", "readaheads",
+              "conflicts");
 
   struct Config {
     IndexKind kind;
@@ -67,20 +68,23 @@ int Run(int argc, char** argv) {
                      index.status().ToString().c_str());
         continue;
       }
-      const std::uint64_t misses_before =
-          index->disk_tree()->PoolStats().misses;
+      const auto before = index->disk_tree()->PoolStats().Total();
       Timer timer;
       std::uint64_t answers = 0;
       for (const seqdb::Sequence& q : queries) {
         answers += index->Search(q, epsilon).size();
       }
-      const std::uint64_t misses =
-          index->disk_tree()->PoolStats().misses - misses_before;
-      std::printf("%-8s %-10zu %12.0f %12.4f %14llu\n", config.name,
-                  pool_pages,
+      const auto after = index->disk_tree()->PoolStats().Total();
+      std::printf("%-8s %-10zu %12.0f %12.4f %14llu %12llu %12llu\n",
+                  config.name, pool_pages,
                   index->build_info().index_bytes / 1024.0,
                   timer.Seconds() / static_cast<double>(queries.size()),
-                  static_cast<unsigned long long>(misses));
+                  static_cast<unsigned long long>(after.misses -
+                                                  before.misses),
+                  static_cast<unsigned long long>(after.readaheads -
+                                                  before.readaheads),
+                  static_cast<unsigned long long>(after.shard_conflicts -
+                                                  before.shard_conflicts));
     }
   }
   std::printf("\n(with a 16-page pool the ST traversal thrashes — this is "

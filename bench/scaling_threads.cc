@@ -14,10 +14,18 @@
 // its exact-value tree makes single queries take tens of seconds on the
 // paper workload (Table 2 reports 55.3s); pass --st to include it.
 //
+// With --disk the bench additionally builds one disk-backed SST_C bundle
+// and reopens it twice — once with a single-shard (single-mutex) buffer
+// pool, once with the sharded pool — and compares multi-thread query
+// throughput through each. This isolates the buffer-manager lock from the
+// search work: the sharded rows should pull ahead at >= 4 threads.
+//
 //   scaling_threads [--queries N] [--epsilon E] [--categories C] [--quick]
-//                   [--st]
+//                   [--st] [--disk]
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -113,6 +121,71 @@ int Run(int argc, char** argv) {
   std::printf("\n(columns are speedups vs the serial searcher; query@T = "
               "one query split across T workers, batch@T = independent "
               "queries fanned across T workers)\n");
+
+  if (bench::HasFlag(argc, argv, "--disk")) {
+    // Disk-backed pool contention: the same bundle through a single-mutex
+    // pool (1 shard — PR 1 behaviour) vs the sharded manager.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("tswarp_scaling_disk_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    IndexOptions build_options;
+    build_options.kind = IndexKind::kSparse;
+    build_options.num_categories = categories;
+    build_options.disk_path = (dir / "sst_c").string();
+    build_options.disk_batch_sequences = 32;
+    // Keep the pool small relative to the bundle so page faults (and the
+    // frame-table locking around them) stay on the hot path.
+    build_options.disk_pool_pages = 64;
+    if (auto built = Index::Build(&db, build_options); !built.ok()) {
+      std::fprintf(stderr, "disk build failed: %s\n",
+                   built.status().ToString().c_str());
+      std::filesystem::remove_all(dir);
+      return 1;
+    }
+
+    std::printf("\nDisk-backed SST_C (%zu pool pages/region): batch "
+                "throughput, single-mutex pool vs sharded\n\n",
+                build_options.disk_pool_pages);
+    std::printf("%-14s %10s", "pool", "serial(s)");
+    for (const std::size_t t : thread_counts) {
+      char head[32];
+      std::snprintf(head, sizeof head, "batch@%zu", t);
+      std::printf(" %8s", head);
+    }
+    std::printf(" %10s\n", "conflicts");
+
+    struct PoolConfig {
+      const char* name;
+      std::size_t shards;  // 1 = single global mutex; 0 = auto-sharded.
+    };
+    for (const PoolConfig& pool :
+         {PoolConfig{"single-mutex", 1}, PoolConfig{"sharded", 0}}) {
+      IndexOptions open_options = build_options;
+      open_options.disk_pool_shards = pool.shards;
+      auto index = Index::Open(&db, open_options);
+      if (!index.ok()) {
+        std::fprintf(stderr, "disk open failed: %s\n",
+                     index.status().ToString().c_str());
+        std::filesystem::remove_all(dir);
+        return 1;
+      }
+      const double serial = AvgQuerySeconds(*index, queries, epsilon, 0);
+      std::printf("%-14s %10.4f", pool.name, serial);
+      for (const std::size_t t : thread_counts) {
+        const double batch = BatchSeconds(*index, queries, epsilon, t);
+        std::printf(" %7.2fx", serial / batch);
+      }
+      const auto stats = index->PoolStats();
+      std::printf(" %10llu\n",
+                  stats ? static_cast<unsigned long long>(
+                              stats->Total().shard_conflicts)
+                        : 0ULL);
+    }
+    std::printf("\n(same bundle, same queries; only the frame-table "
+                "sharding differs — the conflicts column counts contended "
+                "shard-lock acquisitions)\n");
+    std::filesystem::remove_all(dir);
+  }
   return 0;
 }
 

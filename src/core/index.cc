@@ -83,6 +83,15 @@ std::string FingerprintPath(const IndexOptions& options) {
   return options.disk_path + ".index";
 }
 
+suffixtree::DiskTreeOptions TreeOptionsFrom(const IndexOptions& options) {
+  suffixtree::DiskTreeOptions tree;
+  tree.pool_pages = options.disk_pool_pages;
+  tree.pool_shards = options.disk_pool_shards;
+  tree.eviction = options.disk_eviction;
+  tree.readahead_pages = options.disk_readahead_pages;
+  return tree;
+}
+
 }  // namespace
 
 /// Derives the discretized symbol database (and categorizer state) for
@@ -153,7 +162,7 @@ StatusOr<Index> Index::Build(const seqdb::SequenceDatabase* db,
     suffixtree::DiskBuildOptions disk;
     disk.build = build;
     disk.batch_sequences = options.disk_batch_sequences;
-    disk.tree.pool_pages = options.disk_pool_pages;
+    disk.tree = TreeOptionsFrom(options);
     TSW_ASSIGN_OR_RETURN(
         index.disk_tree_,
         suffixtree::BuildDiskTree(index.symbols_, options.disk_path, disk));
@@ -202,11 +211,10 @@ StatusOr<Index> Index::Open(const seqdb::SequenceDatabase* db,
   TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &index, &index.symbols_,
                                     &index.alphabet_, &index.symbol_values_,
                                     &index.build_info_));
-  suffixtree::DiskTreeOptions tree_options;
-  tree_options.pool_pages = options.disk_pool_pages;
   TSW_ASSIGN_OR_RETURN(
       index.disk_tree_,
-      suffixtree::DiskSuffixTree::Open(options.disk_path, tree_options));
+      suffixtree::DiskSuffixTree::Open(options.disk_path,
+                                       TreeOptionsFrom(options)));
 
   const suffixtree::TreeView* view = index.disk_tree_.get();
   index.build_info_.index_bytes = view->SizeBytes();
@@ -221,6 +229,11 @@ StatusOr<Index> Index::Open(const seqdb::SequenceDatabase* db,
                  : static_cast<double>(index.build_info_.skipped_suffixes) /
                        static_cast<double>(total);
   return index;
+}
+
+std::optional<suffixtree::RegionStats> Index::PoolStats() const {
+  if (disk_tree_ == nullptr) return std::nullopt;
+  return disk_tree_->PoolStats();
 }
 
 namespace {

@@ -45,10 +45,19 @@ struct IndexOptions {
   Pos max_suffix_length = 0;
 
   /// When set, the tree is built on disk (batched binary merges) at this
-  /// base path and searched through the buffer pool.
+  /// base path and searched through the sharded buffer manager.
   std::string disk_path;
   std::size_t disk_batch_sequences = 64;
   std::size_t disk_pool_pages = 256;
+
+  /// Buffer-manager tuning (runtime-only: not part of the on-disk
+  /// fingerprint, so one bundle can be reopened under any of these).
+  /// Shards per region manager; 0 = auto, 1 = single-mutex baseline.
+  std::size_t disk_pool_shards = 0;
+  storage::EvictionPolicyKind disk_eviction =
+      storage::EvictionPolicyKind::kLru;
+  /// Sequential read-ahead window in pages; 0 disables.
+  std::size_t disk_readahead_pages = 8;
 
   /// Seed for categorizers that need one (k-means).
   std::uint64_t seed = 1;
@@ -133,11 +142,15 @@ class Index {
   const IndexBuildInfo& build_info() const { return build_info_; }
   const IndexOptions& options() const { return options_; }
 
-  /// Non-null iff the index was built with a disk_path; exposes buffer-pool
-  /// statistics for I/O experiments.
+  /// Non-null iff the index was built with a disk_path; exposes buffer
+  /// manager statistics for I/O experiments.
   const suffixtree::DiskSuffixTree* disk_tree() const {
     return disk_tree_.get();
   }
+
+  /// Per-region buffer-manager statistics of the disk-backed tree, or
+  /// nullopt for in-memory indexes.
+  std::optional<suffixtree::RegionStats> PoolStats() const;
 
  private:
   Index() = default;

@@ -1,0 +1,478 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tswarp::storage {
+
+namespace internal {
+
+/// One resident page. `pins`/`dirty` are atomics so guards can unpin and
+/// mark without the shard lock; the policy fields (lru_it/in_lru,
+/// ring_slot/ref) are guarded by the owning shard's mutex. Page data is
+/// protected by `latch` (shared for read guards, exclusive for write
+/// guards); an evictor needs neither — a victim has pins == 0, and the
+/// release-decrement in Unpin makes the last holder's writes visible to
+/// the evictor's acquire-load.
+struct Frame {
+  std::uint64_t page_no = 0;
+  std::atomic<std::uint32_t> pins{0};
+  std::atomic<bool> dirty{false};
+  std::shared_mutex latch;
+  std::vector<std::byte> data;
+
+  // LRU state.
+  std::list<Frame*>::iterator lru_it{};
+  bool in_lru = false;
+  // CLOCK state.
+  std::size_t ring_slot = static_cast<std::size_t>(-1);
+  bool ref = false;
+};
+
+/// Per-shard replacement policy; all methods run under the shard mutex.
+/// PickVictim must never return a pinned frame.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual void OnInsert(Frame* f) = 0;
+  virtual void OnAccess(Frame* f) = 0;
+  virtual void OnEvict(Frame* f) = 0;
+  /// An unpinned victim, or nullptr when every resident frame is pinned.
+  virtual Frame* PickVictim() = 0;
+};
+
+namespace {
+
+bool Pinned(const Frame* f) {
+  // Pins only increment under the shard mutex (which PickVictim callers
+  // hold), so a stale nonzero read is conservative, never unsafe.
+  return f->pins.load(std::memory_order_acquire) != 0;
+}
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(Frame* f) override {
+    lru_.push_front(f);
+    f->lru_it = lru_.begin();
+    f->in_lru = true;
+  }
+  void OnAccess(Frame* f) override {
+    lru_.splice(lru_.begin(), lru_, f->lru_it);
+  }
+  void OnEvict(Frame* f) override {
+    lru_.erase(f->lru_it);
+    f->in_lru = false;
+  }
+  Frame* PickVictim() override {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!Pinned(*it)) return *it;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::list<Frame*> lru_;  // front = most recent.
+};
+
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(Frame* f) override {
+    if (f->ring_slot == static_cast<std::size_t>(-1)) {
+      f->ring_slot = ring_.size();
+      ring_.push_back(f);
+    }
+    f->ref = true;
+  }
+  void OnAccess(Frame* f) override { f->ref = true; }
+  void OnEvict(Frame*) override {
+    // The slot is kept: an evicted frame is immediately reused for the
+    // incoming page (OnInsert re-arms its ref bit).
+  }
+  Frame* PickVictim() override {
+    // Two sweeps: the first clears ref bits, the second must then find an
+    // unpinned frame if one exists.
+    for (std::size_t step = 0; step < 2 * ring_.size(); ++step) {
+      Frame* f = ring_[hand_];
+      hand_ = (hand_ + 1) % ring_.size();
+      if (Pinned(f)) continue;
+      if (f->ref) {
+        f->ref = false;
+        continue;
+      }
+      return f;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<Frame*> ring_;
+  std::size_t hand_ = 0;
+};
+
+std::unique_ptr<EvictionPolicy> MakePolicy(EvictionPolicyKind kind) {
+  if (kind == EvictionPolicyKind::kClock) {
+    return std::make_unique<ClockPolicy>();
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+constexpr std::uint64_t kNoPage = static_cast<std::uint64_t>(-1);
+
+}  // namespace
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, Frame*> map;
+  std::deque<Frame> frames;  // Stable addresses; grows, never shrinks.
+  std::vector<Frame*> free_list;  // Frames orphaned by fault I/O errors.
+  std::unique_ptr<EvictionPolicy> policy;
+  std::size_t capacity = 0;
+  BufferManager::Stats stats;  // Guarded by mu (except shard_conflicts).
+  std::atomic<std::uint64_t> conflicts{0};  // try_lock failures.
+};
+
+}  // namespace internal
+
+using internal::Frame;
+using internal::Shard;
+
+const char* EvictionPolicyKindToString(EvictionPolicyKind kind) {
+  return kind == EvictionPolicyKind::kClock ? "clock" : "lru";
+}
+
+bool ParseEvictionPolicyKind(std::string_view text, EvictionPolicyKind* out) {
+  if (text == "lru") {
+    *out = EvictionPolicyKind::kLru;
+    return true;
+  }
+  if (text == "clock") {
+    *out = EvictionPolicyKind::kClock;
+    return true;
+  }
+  return false;
+}
+
+BufferManager::Stats& BufferManager::Stats::operator+=(const Stats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  writebacks += other.writebacks;
+  readaheads += other.readaheads;
+  overflow_pins += other.overflow_pins;
+  shard_conflicts += other.shard_conflicts;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : mgr_(other.mgr_), frame_(other.frame_), data_(other.data_),
+      page_no_(other.page_no_), intent_(other.intent_) {
+  other.mgr_ = nullptr;
+  other.frame_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    page_no_ = other.page_no_;
+    intent_ = other.intent_;
+    other.mgr_ = nullptr;
+    other.frame_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::Release() {
+  if (frame_ != nullptr) {
+    mgr_->Unpin(frame_, intent_);
+    mgr_ = nullptr;
+    frame_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+std::span<std::byte> PageGuard::mutable_bytes() {
+  TSW_CHECK(intent_ == PinIntent::kWrite)
+      << "mutable_bytes() requires a write pin";
+  frame_->dirty.store(true, std::memory_order_relaxed);
+  return std::span<std::byte>(data_, PagedFile::kPageSize);
+}
+
+// ---------------------------------------------------------------------------
+// BufferManager
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t AutoShards(std::size_t capacity_pages) {
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  return std::max<std::size_t>(
+      1, std::min({std::bit_ceil(hw), std::size_t{16}, capacity_pages}));
+}
+
+}  // namespace
+
+BufferManager::BufferManager(PagedFile* file, BufferManagerOptions options)
+    : file_(file), options_(options),
+      logical_size_(file != nullptr ? file->SizeBytes() : 0),
+      last_fault_page_(internal::kNoPage) {
+  TSW_CHECK(file != nullptr);
+  TSW_CHECK(options_.capacity_pages >= 1);
+  std::size_t num_shards = options_.num_shards == 0
+                               ? AutoShards(options_.capacity_pages)
+                               : options_.num_shards;
+  num_shards = std::max<std::size_t>(
+      1, std::min(num_shards, options_.capacity_pages));
+  options_.num_shards = num_shards;
+  const std::size_t per_shard =
+      (options_.capacity_pages + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = per_shard;
+    shard->policy = internal::MakePolicy(options_.eviction);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+BufferManager::~BufferManager() = default;
+
+Shard& BufferManager::ShardFor(std::uint64_t page_no) {
+  return *shards_[page_no % shards_.size()];
+}
+
+StatusOr<PageGuard> BufferManager::Pin(std::uint64_t page_no,
+                                       PinIntent intent) {
+  return PinInternal(page_no, intent, /*allow_readahead=*/true,
+                     /*is_readahead=*/false);
+}
+
+StatusOr<PageGuard> BufferManager::PinInternal(std::uint64_t page_no,
+                                               PinIntent intent,
+                                               bool allow_readahead,
+                                               bool is_readahead) {
+  Shard& shard = ShardFor(page_no);
+  Frame* frame = nullptr;
+  bool missed = false;
+  std::uint64_t prev_fault = internal::kNoPage;
+  {
+    if (!shard.mu.try_lock()) {
+      shard.conflicts.fetch_add(1, std::memory_order_relaxed);
+      shard.mu.lock();
+    }
+    std::lock_guard<std::mutex> lock(shard.mu, std::adopt_lock);
+    auto it = shard.map.find(page_no);
+    if (it != shard.map.end()) {
+      frame = it->second;
+      ++shard.stats.hits;
+      shard.policy->OnAccess(frame);
+    } else {
+      missed = true;
+      ++shard.stats.misses;
+      if (is_readahead) ++shard.stats.readaheads;
+      // Find a frame: recycle an orphan, grow within budget, evict an
+      // unpinned victim, or (all pinned) overflow the budget — a pinned
+      // page is never evicted.
+      if (!shard.free_list.empty()) {
+        frame = shard.free_list.back();
+        shard.free_list.pop_back();
+      } else if (shard.frames.size() < shard.capacity) {
+        frame = &shard.frames.emplace_back();
+        frame->data.resize(PagedFile::kPageSize);
+      } else if (Frame* victim = shard.policy->PickVictim();
+                 victim != nullptr) {
+        ++shard.stats.evictions;
+        shard.map.erase(victim->page_no);
+        shard.policy->OnEvict(victim);
+        if (victim->dirty.load(std::memory_order_acquire)) {
+          ++shard.stats.writebacks;
+          const Status s = file_->WritePage(victim->page_no, victim->data);
+          if (!s.ok()) {
+            shard.free_list.push_back(victim);
+            return s;
+          }
+          victim->dirty.store(false, std::memory_order_relaxed);
+        }
+        frame = victim;
+      } else {
+        ++shard.stats.overflow_pins;
+        frame = &shard.frames.emplace_back();
+        frame->data.resize(PagedFile::kPageSize);
+      }
+      frame->page_no = page_no;
+      frame->dirty.store(false, std::memory_order_relaxed);
+      const Status s = file_->ReadPage(page_no, frame->data);
+      if (!s.ok()) {
+        shard.free_list.push_back(frame);
+        return s;
+      }
+      shard.map[page_no] = frame;
+      shard.policy->OnInsert(frame);
+      prev_fault =
+          last_fault_page_.exchange(page_no, std::memory_order_relaxed);
+    }
+    frame->pins.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The pin alone protects the frame from eviction, so the sequential
+  // read-ahead can fire here — before the frame latch is taken. Prefetch
+  // pins must never nest under a held latch: frames are reused across
+  // pages, so latch-under-latch nesting would weave cycles into the
+  // latch-order graph over time.
+  if (missed && allow_readahead && intent == PinIntent::kRead &&
+      options_.readahead_pages > 0 && prev_fault != internal::kNoPage &&
+      prev_fault + 1 == page_no) {
+    ReadAhead(page_no + 1, options_.readahead_pages);
+  }
+
+  // The latch serializes data access. Taken outside the shard lock so a
+  // blocked reader (writer active on this page) does not stall the whole
+  // shard.
+  if (intent == PinIntent::kRead) {
+    frame->latch.lock_shared();
+  } else {
+    frame->latch.lock();
+  }
+  return PageGuard(this, frame, frame->data.data(), page_no, intent);
+}
+
+void BufferManager::Unpin(Frame* frame, PinIntent intent) {
+  if (intent == PinIntent::kRead) {
+    frame->latch.unlock_shared();
+  } else {
+    frame->latch.unlock();
+  }
+  frame->pins.fetch_sub(1, std::memory_order_release);
+}
+
+void BufferManager::ReadAhead(std::uint64_t first_page,
+                              std::size_t num_pages) {
+  // Never prefetch past the known end of the file: those pins would
+  // fault zero pages and inflate the miss count for nothing.
+  const std::uint64_t end_page =
+      (logical_size_.load(std::memory_order_acquire) +
+       PagedFile::kPageSize - 1) /
+      PagedFile::kPageSize;
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    if (first_page + i >= end_page) return;
+    // Pin-and-drop: faults the page (counted as a readahead on miss) and
+    // leaves it resident. Errors are dropped — a later real Pin reports.
+    auto guard = PinInternal(first_page + i, PinIntent::kRead,
+                             /*allow_readahead=*/false,
+                             /*is_readahead=*/true);
+    if (!guard.ok()) return;
+  }
+}
+
+Status BufferManager::Read(std::uint64_t offset, void* out, std::size_t n) {
+  auto* dst = static_cast<std::byte*>(out);
+  while (n > 0) {
+    const std::uint64_t page_no = offset / PagedFile::kPageSize;
+    const std::size_t in_page = offset % PagedFile::kPageSize;
+    const std::size_t chunk =
+        std::min(n, PagedFile::kPageSize - in_page);
+    // Read-ahead stays armed for every chunk: a long scan misses at the
+    // end of each prefetched run and re-triggers the next window.
+    TSW_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        PinInternal(page_no, PinIntent::kRead,
+                    /*allow_readahead=*/true, /*is_readahead=*/false));
+    std::memcpy(dst, guard.bytes().data() + in_page, chunk);
+    dst += chunk;
+    offset += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status BufferManager::Write(std::uint64_t offset, const void* in,
+                            std::size_t n) {
+  const auto* src = static_cast<const std::byte*>(in);
+  while (n > 0) {
+    const std::uint64_t page_no = offset / PagedFile::kPageSize;
+    const std::size_t in_page = offset % PagedFile::kPageSize;
+    const std::size_t chunk =
+        std::min(n, PagedFile::kPageSize - in_page);
+    TSW_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        PinInternal(page_no, PinIntent::kWrite,
+                    /*allow_readahead=*/false, /*is_readahead=*/false));
+    std::memcpy(guard.mutable_bytes().data() + in_page, src, chunk);
+    guard.Release();
+    src += chunk;
+    offset += chunk;
+    n -= chunk;
+    // Publish the high-water mark.
+    std::uint64_t cur = logical_size_.load(std::memory_order_relaxed);
+    while (offset > cur && !logical_size_.compare_exchange_weak(
+                               cur, offset, std::memory_order_release,
+                               std::memory_order_relaxed)) {
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferManager::Flush() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Frame& f : shard.frames) {
+      if (!f.dirty.load(std::memory_order_acquire)) continue;
+      // A shared latch keeps an in-flight writer from racing the
+      // writeback; read guards are compatible.
+      std::shared_lock<std::shared_mutex> latch(f.latch);
+      ++shard.stats.writebacks;
+      TSW_RETURN_IF_ERROR(file_->WritePage(f.page_no, f.data));
+      f.dirty.store(false, std::memory_order_relaxed);
+    }
+  }
+  return file_->Sync();
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  Stats total;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Stats s = shard.stats;
+    s.shard_conflicts = shard.conflicts.load(std::memory_order_relaxed);
+    total += s;
+  }
+  return total;
+}
+
+std::vector<BufferManager::Stats> BufferManager::ShardStats() const {
+  std::vector<Stats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Stats s = shard.stats;
+    s.shard_conflicts = shard.conflicts.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace tswarp::storage

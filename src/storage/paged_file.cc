@@ -30,6 +30,7 @@ StatusOr<PagedFile> PagedFile::Open(const std::string& path, bool writable) {
 
 Status PagedFile::ReadPage(std::uint64_t page_no, std::span<std::byte> out) {
   TSW_CHECK(out.size() == kPageSize);
+  std::lock_guard<std::mutex> lock(*io_mu_);
   const std::uint64_t offset = page_no * kPageSize;
   if (offset >= size_bytes_) {
     std::memset(out.data(), 0, kPageSize);
@@ -50,6 +51,7 @@ Status PagedFile::ReadPage(std::uint64_t page_no, std::span<std::byte> out) {
 Status PagedFile::WritePage(std::uint64_t page_no,
                             std::span<const std::byte> in) {
   TSW_CHECK(in.size() == kPageSize);
+  std::lock_guard<std::mutex> lock(*io_mu_);
   const std::uint64_t offset = page_no * kPageSize;
   if (std::fseek(file_.get(), static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError("seek failed in " + path_);
@@ -62,6 +64,7 @@ Status PagedFile::WritePage(std::uint64_t page_no,
 }
 
 Status PagedFile::Sync() {
+  std::lock_guard<std::mutex> lock(*io_mu_);
   if (std::fflush(file_.get()) != 0) {
     return Status::IOError("flush failed in " + path_);
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -12,9 +13,14 @@
 
 namespace tswarp::storage {
 
-/// Fixed-size-page file abstraction beneath the buffer pool. Pages are
+/// Fixed-size-page file abstraction beneath the buffer manager. Pages are
 /// kPageSize bytes; reading a page beyond the current end yields zeros
 /// (pages come into existence when first written).
+///
+/// Thread safety: ReadPage, WritePage, Sync and SizeBytes are serialized
+/// on an internal mutex, so the sharded buffer manager may fault pages
+/// from several shards concurrently. (The stdio seek+transfer pair must
+/// be atomic; per-call stdio locking is not enough.)
 class PagedFile {
  public:
   static constexpr std::size_t kPageSize = 4096;
@@ -41,7 +47,10 @@ class PagedFile {
   Status Sync();
 
   /// Size of the file in bytes (as last observed).
-  std::uint64_t SizeBytes() const { return size_bytes_; }
+  std::uint64_t SizeBytes() const {
+    std::lock_guard<std::mutex> lock(*io_mu_);
+    return size_bytes_;
+  }
 
   const std::string& path() const { return path_; }
 
@@ -53,11 +62,15 @@ class PagedFile {
   };
 
   PagedFile(std::string path, std::FILE* f, std::uint64_t size)
-      : path_(std::move(path)), file_(f), size_bytes_(size) {}
+      : path_(std::move(path)), file_(f), size_bytes_(size),
+        io_mu_(std::make_unique<std::mutex>()) {}
 
   std::string path_;
   std::unique_ptr<std::FILE, Closer> file_;
   std::uint64_t size_bytes_ = 0;
+  /// Serializes the seek+transfer pairs and size_bytes_. Heap-allocated so
+  /// PagedFile stays movable.
+  std::unique_ptr<std::mutex> io_mu_;
 };
 
 }  // namespace tswarp::storage

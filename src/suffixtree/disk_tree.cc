@@ -37,6 +37,12 @@ static_assert(sizeof(OccRecord) == 16);
 
 constexpr std::uint32_t kNilOcc = 0xFFFFFFFFu;
 
+// Records must never straddle a page boundary or the zero-copy cursors
+// below could not hand out direct pointers into pinned frames.
+static_assert(storage::PagedFile::kPageSize % sizeof(NodeRecord) == 0);
+static_assert(storage::PagedFile::kPageSize % sizeof(OccRecord) == 0);
+static_assert(storage::PagedFile::kPageSize % sizeof(Symbol) == 0);
+
 struct MetaRecord {
   std::uint64_t magic;
   std::uint32_t version;
@@ -51,27 +57,114 @@ std::string OccsPath(const std::string& base) { return base + ".occs"; }
 std::string LabelsPath(const std::string& base) { return base + ".labels"; }
 std::string MetaPath(const std::string& base) { return base + ".meta"; }
 
-Status ReadNode(const storage::BufferPool& pool_const, NodeId id,
-                NodeRecord* out) {
-  auto& pool = const_cast<storage::BufferPool&>(pool_const);
-  return pool.Read(static_cast<std::uint64_t>(id) * sizeof(NodeRecord), out,
+/// Zero-copy access to fixed-size records of one region. Get() pins the
+/// record's page and returns a pointer straight into the frame; the pin
+/// (a read guard) is held until the next Get() on a different page or the
+/// cursor dies. Holding a read guard across further pins is explicitly
+/// allowed by the manager, so cursors for several regions can be live at
+/// once (GetChildren walks nodes and labels together) — but to keep the
+/// latch-order graph acyclic, accessors must only pin in the region
+/// order nodes -> occs -> labels while a guard is held.
+template <typename T>
+class RecordCursor {
+ public:
+  explicit RecordCursor(storage::BufferManager* mgr) : mgr_(mgr) {}
+
+  /// Pointer valid until the next Get() on this cursor.
+  const T* Get(std::uint64_t index) {
+    const std::uint64_t offset = index * sizeof(T);
+    const std::uint64_t page_no = offset / storage::PagedFile::kPageSize;
+    if (!guard_.valid() || guard_.page_no() != page_no) {
+      guard_.Release();
+      auto pinned = mgr_->Pin(page_no, storage::PinIntent::kRead);
+      TSW_CHECK(pinned.ok()) << pinned.status();
+      guard_ = std::move(pinned).value();
+    }
+    return reinterpret_cast<const T*>(
+        guard_.bytes().data() + offset % storage::PagedFile::kPageSize);
+  }
+
+ private:
+  storage::BufferManager* mgr_;
+  storage::PageGuard guard_;
+};
+
+/// Copies a run of label symbols out of pinned pages, reusing one guard
+/// across the pages of a single run. The guard is NOT cached across Copy
+/// calls: the accessors pin latches in the fixed region order
+/// nodes -> occs -> labels, and a label guard surviving into the next
+/// nodes Get() would add a labels -> nodes edge that closes a cycle in
+/// the latch-order graph (harmless for shared latches, but it trips
+/// TSan's deadlock detector and is a trap for future exclusive users).
+class LabelReader {
+ public:
+  explicit LabelReader(storage::BufferManager* mgr) : mgr_(mgr) {}
+
+  void Copy(std::uint64_t first_symbol, std::uint32_t n, Symbol* dst) {
+    storage::PageGuard guard;
+    std::uint64_t offset = first_symbol * sizeof(Symbol);
+    std::size_t remaining = static_cast<std::size_t>(n) * sizeof(Symbol);
+    auto* out = reinterpret_cast<std::byte*>(dst);
+    while (remaining > 0) {
+      const std::uint64_t page_no = offset / storage::PagedFile::kPageSize;
+      const std::size_t in_page = offset % storage::PagedFile::kPageSize;
+      if (!guard.valid() || guard.page_no() != page_no) {
+        guard.Release();
+        auto pinned = mgr_->Pin(page_no, storage::PinIntent::kRead);
+        TSW_CHECK(pinned.ok()) << pinned.status();
+        guard = std::move(pinned).value();
+      }
+      const std::size_t chunk =
+          std::min(remaining, storage::PagedFile::kPageSize - in_page);
+      std::memcpy(out, guard.bytes().data() + in_page, chunk);
+      out += chunk;
+      offset += chunk;
+      remaining -= chunk;
+    }
+  }
+
+ private:
+  storage::BufferManager* mgr_;
+};
+
+// Writer-side helpers on the byte-copy shim (records are patched in
+// place, and the writer is single-threaded, so guards buy nothing here).
+
+Status ReadNode(storage::BufferManager& mgr, NodeId id, NodeRecord* out) {
+  return mgr.Read(static_cast<std::uint64_t>(id) * sizeof(NodeRecord), out,
+                  sizeof(NodeRecord));
+}
+
+Status WriteNode(storage::BufferManager& mgr, NodeId id,
+                 const NodeRecord& rec) {
+  return mgr.Write(static_cast<std::uint64_t>(id) * sizeof(NodeRecord), &rec,
                    sizeof(NodeRecord));
 }
 
-Status WriteNode(storage::BufferPool& pool, NodeId id,
-                 const NodeRecord& rec) {
-  return pool.Write(static_cast<std::uint64_t>(id) * sizeof(NodeRecord),
-                    &rec, sizeof(NodeRecord));
-}
-
-Status ReadOcc(const storage::BufferPool& pool_const, std::uint32_t id,
+Status ReadOcc(storage::BufferManager& mgr, std::uint32_t id,
                OccRecord* out) {
-  auto& pool = const_cast<storage::BufferPool&>(pool_const);
-  return pool.Read(static_cast<std::uint64_t>(id) * sizeof(OccRecord), out,
-                   sizeof(OccRecord));
+  return mgr.Read(static_cast<std::uint64_t>(id) * sizeof(OccRecord), out,
+                  sizeof(OccRecord));
 }
 
 }  // namespace
+
+storage::BufferManagerOptions DiskTreeOptions::ToManagerOptions() const {
+  storage::BufferManagerOptions o;
+  o.capacity_pages = pool_pages;
+  o.num_shards = pool_shards;
+  o.eviction = eviction;
+  o.readahead_pages = readahead_pages;
+  return o;
+}
+
+storage::BufferManager::Stats RegionStats::Total() const {
+  storage::BufferManager::Stats total;
+  total += nodes;
+  total += occs;
+  total += labels;
+  return total;
+}
 
 // ---------------------------------------------------------------------------
 // DiskTreeWriter
@@ -99,12 +192,14 @@ Status DiskTreeWriter::Init() {
   node_file_ = std::make_unique<storage::PagedFile>(std::move(nodes_file));
   occ_file_ = std::make_unique<storage::PagedFile>(std::move(occs_file));
   label_file_ = std::make_unique<storage::PagedFile>(std::move(labels_file));
-  nodes_ = std::make_unique<storage::BufferPool>(node_file_.get(),
-                                                 options_.pool_pages);
-  occs_ = std::make_unique<storage::BufferPool>(occ_file_.get(),
-                                                options_.pool_pages);
-  labels_ = std::make_unique<storage::BufferPool>(label_file_.get(),
-                                                  options_.pool_pages);
+  const storage::BufferManagerOptions mgr_options =
+      options_.ToManagerOptions();
+  nodes_ = std::make_unique<storage::BufferManager>(node_file_.get(),
+                                                    mgr_options);
+  occs_ = std::make_unique<storage::BufferManager>(occ_file_.get(),
+                                                   mgr_options);
+  labels_ = std::make_unique<storage::BufferManager>(label_file_.get(),
+                                                     mgr_options);
   return Status::OK();
 }
 
@@ -199,8 +294,18 @@ void DiskTreeWriter::Finalize() {
 }
 
 Status DiskTreeWriter::Close() {
+  if (closed_) return status_;
+  closed_ = true;
+  Latch(CloseInternal());
+  return status_;
+}
+
+Status DiskTreeWriter::CloseInternal() {
   TSW_RETURN_IF_ERROR(status_);
-  TSW_CHECK(finalized_) << "Finalize() before Close()";
+  if (!finalized_) {
+    return Status::FailedPrecondition("Close() before Finalize() on " +
+                                      base_path_);
+  }
   TSW_RETURN_IF_ERROR(nodes_->Flush());
   TSW_RETURN_IF_ERROR(occs_->Flush());
   TSW_RETURN_IF_ERROR(labels_->Flush());
@@ -222,6 +327,7 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
     const std::string& base_path, DiskTreeOptions options) {
   std::unique_ptr<DiskSuffixTree> tree(new DiskSuffixTree());
   tree->base_path_ = base_path;
+  tree->options_ = options;
 
   TSW_ASSIGN_OR_RETURN(auto meta_file,
                        storage::PagedFile::Open(MetaPath(base_path), false));
@@ -251,56 +357,55 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
   tree->occ_file_ = std::make_unique<storage::PagedFile>(std::move(occs_file));
   tree->label_file_ =
       std::make_unique<storage::PagedFile>(std::move(labels_file));
-  tree->nodes_ = std::make_unique<storage::BufferPool>(tree->node_file_.get(),
-                                                       options.pool_pages);
-  tree->occs_ = std::make_unique<storage::BufferPool>(tree->occ_file_.get(),
-                                                      options.pool_pages);
-  tree->labels_ = std::make_unique<storage::BufferPool>(
-      tree->label_file_.get(), options.pool_pages);
+  const storage::BufferManagerOptions mgr_options = options.ToManagerOptions();
+  tree->nodes_ = std::make_unique<storage::BufferManager>(
+      tree->node_file_.get(), mgr_options);
+  tree->occs_ = std::make_unique<storage::BufferManager>(
+      tree->occ_file_.get(), mgr_options);
+  tree->labels_ = std::make_unique<storage::BufferManager>(
+      tree->label_file_.get(), mgr_options);
   return tree;
 }
 
 void DiskSuffixTree::GetChildren(NodeId node, Children* out) const {
   out->Clear();
-  NodeRecord rec;
-  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
-  for (NodeId c = rec.first_child; c != kNilNode;) {
-    NodeRecord crec;
-    TSW_CHECK(ReadNode(*nodes_, c, &crec).ok());
+  RecordCursor<NodeRecord> nodes(nodes_.get());
+  LabelReader labels(labels_.get());
+  // Copy out scalars before the next cursor call invalidates the pointer.
+  const NodeId first_child = nodes.Get(node)->first_child;
+  for (NodeId c = first_child; c != kNilNode;) {
+    const NodeRecord* crec = nodes.Get(c);
+    const std::uint64_t label_offset = crec->label_offset;
+    const std::uint32_t label_len = crec->label_len;
+    const NodeId next = crec->next_sibling;
     const auto begin = static_cast<std::uint32_t>(out->label_pool.size());
-    out->label_pool.resize(begin + crec.label_len);
-    TSW_CHECK(labels_
-                  ->Read(crec.label_offset * sizeof(Symbol),
-                         out->label_pool.data() + begin,
-                         crec.label_len * sizeof(Symbol))
-                  .ok());
-    out->edges.push_back({c, begin, crec.label_len});
-    c = crec.next_sibling;
+    out->label_pool.resize(begin + label_len);
+    labels.Copy(label_offset, label_len, out->label_pool.data() + begin);
+    out->edges.push_back({c, begin, label_len});
+    c = next;
   }
 }
 
 void DiskSuffixTree::GetOccurrences(NodeId node,
                                     std::vector<OccurrenceRec>* out) const {
-  NodeRecord rec;
-  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
-  for (std::uint32_t o = rec.first_occ; o != kNilOcc;) {
-    OccRecord orec;
-    TSW_CHECK(ReadOcc(*occs_, o, &orec).ok());
-    out->push_back({orec.seq, orec.pos, orec.run});
-    o = orec.next;
+  RecordCursor<NodeRecord> nodes(nodes_.get());
+  RecordCursor<OccRecord> occs(occs_.get());
+  const std::uint32_t first_occ = nodes.Get(node)->first_occ;
+  for (std::uint32_t o = first_occ; o != kNilOcc;) {
+    const OccRecord* orec = occs.Get(o);
+    out->push_back({orec->seq, orec->pos, orec->run});
+    o = orec->next;
   }
 }
 
 std::uint32_t DiskSuffixTree::SubtreeOccCount(NodeId node) const {
-  NodeRecord rec;
-  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
-  return rec.subtree_occ;
+  RecordCursor<NodeRecord> nodes(nodes_.get());
+  return nodes.Get(node)->subtree_occ;
 }
 
 Pos DiskSuffixTree::MaxRun(NodeId node) const {
-  NodeRecord rec;
-  TSW_CHECK(ReadNode(*nodes_, node, &rec).ok());
-  return rec.max_run;
+  RecordCursor<NodeRecord> nodes(nodes_.get());
+  return nodes.Get(node)->max_run;
 }
 
 std::uint64_t DiskSuffixTree::SizeBytes() const {
@@ -309,17 +414,30 @@ std::uint64_t DiskSuffixTree::SizeBytes() const {
          num_label_symbols_ * sizeof(Symbol);
 }
 
-storage::BufferPool::Stats DiskSuffixTree::PoolStats() const {
-  storage::BufferPool::Stats total;
-  for (const storage::BufferPool* p :
-       {nodes_.get(), occs_.get(), labels_.get()}) {
-    const storage::BufferPool::Stats s = p->stats();
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.evictions += s.evictions;
-    total.writebacks += s.writebacks;
-  }
-  return total;
+void DiskSuffixTree::HintSequentialScan() const {
+  const std::size_t window = options_.readahead_pages;
+  if (window == 0) return;
+  // Prime the first window of each region; once the scan reaches the end
+  // of a primed run, the managers' sequential fault detection takes over.
+  nodes_->ReadAhead(0, window);
+  occs_->ReadAhead(0, window);
+  labels_->ReadAhead(0, window);
+}
+
+RegionStats DiskSuffixTree::PoolStats() const {
+  RegionStats stats;
+  stats.nodes = nodes_->stats();
+  stats.occs = occs_->stats();
+  stats.labels = labels_->stats();
+  return stats;
+}
+
+std::size_t DiskSuffixTree::pool_shards() const {
+  return nodes_->num_shards();
+}
+
+storage::EvictionPolicyKind DiskSuffixTree::pool_eviction() const {
+  return nodes_->eviction_policy();
 }
 
 // ---------------------------------------------------------------------------

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/buffer_pool.h"
+#include "storage/buffer_manager.h"
 #include "storage/paged_file.h"
 #include "suffixtree/suffix_tree.h"
 #include "suffixtree/symbol_database.h"
@@ -20,16 +20,41 @@ namespace tswarp::suffixtree {
 ///   <base>.nodes   fixed 32-byte node records
 ///   <base>.occs    fixed 16-byte occurrence records
 ///   <base>.labels  materialized edge-label symbols (4 bytes each)
-/// All access goes through per-file LRU buffer pools, so trees larger than
-/// RAM can be built, merged, and searched with a bounded page budget —
-/// the paper's disk-based index.
+/// All access goes through per-region sharded buffer managers, so trees
+/// larger than RAM can be built, merged, and searched with a bounded page
+/// budget — the paper's disk-based index.
 struct DiskTreeOptions {
-  /// Buffer-pool pages per region file.
+  /// Frame budget per region file.
   std::size_t pool_pages = 256;
+
+  /// Lock shards per region manager; 0 = auto (hardware threads, capped),
+  /// 1 = classic single-mutex pool (the PR 1 baseline).
+  std::size_t pool_shards = 0;
+
+  /// Replacement policy of every region manager.
+  storage::EvictionPolicyKind eviction = storage::EvictionPolicyKind::kLru;
+
+  /// Sequential read-ahead window (pages); 0 disables. Only helps
+  /// scan-shaped access (merge, CopyTree), never hurts random traversal
+  /// because the manager arms it on sequential fault patterns only.
+  std::size_t readahead_pages = 8;
+
+  storage::BufferManagerOptions ToManagerOptions() const;
+};
+
+/// Buffer-manager statistics of one tree, broken down by region.
+struct RegionStats {
+  storage::BufferManager::Stats nodes;
+  storage::BufferManager::Stats occs;
+  storage::BufferManager::Stats labels;
+
+  storage::BufferManager::Stats Total() const;
 };
 
 /// TreeSink that writes a disk tree bundle. Nodes and occurrences are
-/// appended; parent/sibling links are patched in place through the pool.
+/// appended; parent/sibling links are patched in place through the
+/// managers' byte-granular Read/Write shim (patching a record rewrites a
+/// few dozen bytes mid-page, so pin-copy-unpin is the right shape here).
 class DiskTreeWriter : public TreeSink {
  public:
   static StatusOr<std::unique_ptr<DiskTreeWriter>> Create(
@@ -40,8 +65,11 @@ class DiskTreeWriter : public TreeSink {
   void AddOccurrence(NodeId node, const OccurrenceRec& occ) override;
   void Finalize() override;
 
-  /// Flushes pools and writes the meta file. Must be called after
-  /// Finalize(); the bundle is unreadable before Close().
+  /// Flushes the managers and writes the meta file. Must be called after
+  /// Finalize(); the bundle is unreadable before Close(). Idempotent: the
+  /// first call decides the outcome and latches it; any further call
+  /// returns the latched status without touching the files again.
+  /// Close() before Finalize() latches (and returns) FailedPrecondition.
   Status Close();
 
   /// Last I/O error, if any sink call failed (TreeSink's interface has no
@@ -52,6 +80,7 @@ class DiskTreeWriter : public TreeSink {
   DiskTreeWriter(const std::string& base_path, DiskTreeOptions options);
 
   Status Init();
+  Status CloseInternal();
   void Latch(const Status& s) {
     if (status_.ok() && !s.ok()) status_ = s;
   }
@@ -61,13 +90,14 @@ class DiskTreeWriter : public TreeSink {
   std::unique_ptr<storage::PagedFile> node_file_;
   std::unique_ptr<storage::PagedFile> occ_file_;
   std::unique_ptr<storage::PagedFile> label_file_;
-  std::unique_ptr<storage::BufferPool> nodes_;
-  std::unique_ptr<storage::BufferPool> occs_;
-  std::unique_ptr<storage::BufferPool> labels_;
+  std::unique_ptr<storage::BufferManager> nodes_;
+  std::unique_ptr<storage::BufferManager> occs_;
+  std::unique_ptr<storage::BufferManager> labels_;
   std::uint64_t num_nodes_ = 0;
   std::uint64_t num_occs_ = 0;
   std::uint64_t num_label_symbols_ = 0;
   bool finalized_ = false;
+  bool closed_ = false;
   Status status_;
 };
 
@@ -75,11 +105,13 @@ class DiskTreeWriter : public TreeSink {
 ///
 /// Thread safety: the read accessors (GetChildren, GetOccurrences,
 /// SubtreeOccCount, MaxRun, CollectSubtreeOccurrences, PoolStats) may be
-/// called from many threads concurrently — they share the three
-/// mutex-guarded BufferPools, and every caller-visible buffer is an
-/// out-parameter owned by the calling worker. This is what lets the
-/// parallel tree searchers traverse one disk-backed index from a whole
-/// thread pool while the pools' hit/miss/eviction Stats stay exact.
+/// called from many threads concurrently. Each call pins the pages it
+/// touches through the three sharded BufferManagers and reads records
+/// zero-copy out of the pinned frames; every caller-visible buffer is an
+/// out-parameter owned by the calling worker. Because the managers are
+/// lock-sharded, parallel tree searchers only contend when they touch
+/// pages of the same shard — this is what converts PR 1's thread-pool
+/// parallelism into real disk-backed scaling.
 class DiskSuffixTree : public TreeView {
  public:
   static StatusOr<std::unique_ptr<DiskSuffixTree>> Open(
@@ -99,20 +131,30 @@ class DiskSuffixTree : public TreeView {
   }
   std::uint64_t SizeBytes() const override;
 
-  /// Aggregate buffer-pool statistics across the three region pools.
-  storage::BufferPool::Stats PoolStats() const;
+  /// Primes the managers' sequential read-ahead for a front-to-back scan
+  /// (merge / CopyTree). No-op when read-ahead is disabled.
+  void HintSequentialScan() const override;
+
+  /// Buffer-manager statistics, per region. RegionStats::Total() gives
+  /// the old aggregate view.
+  RegionStats PoolStats() const;
+
+  /// Resolved shard count of the region managers (after auto-detection).
+  std::size_t pool_shards() const;
+  storage::EvictionPolicyKind pool_eviction() const;
 
  private:
   DiskSuffixTree() = default;
 
   std::string base_path_;
+  DiskTreeOptions options_;
   std::unique_ptr<storage::PagedFile> node_file_;
   std::unique_ptr<storage::PagedFile> occ_file_;
   std::unique_ptr<storage::PagedFile> label_file_;
-  // Pools are mutable: reads fault pages in.
-  mutable std::unique_ptr<storage::BufferPool> nodes_;
-  mutable std::unique_ptr<storage::BufferPool> occs_;
-  mutable std::unique_ptr<storage::BufferPool> labels_;
+  // Managers are mutable: reads fault pages in and move policy state.
+  mutable std::unique_ptr<storage::BufferManager> nodes_;
+  mutable std::unique_ptr<storage::BufferManager> occs_;
+  mutable std::unique_ptr<storage::BufferManager> labels_;
   std::uint64_t num_nodes_ = 0;
   std::uint64_t num_occs_ = 0;
   std::uint64_t num_label_symbols_ = 0;

@@ -18,6 +18,10 @@ class Merger {
       : a_(a), b_(b), out_(out) {}
 
   void Run() {
+    // The merge visits both inputs roughly front to back (node ids are
+    // allocated in creation order); let disk-backed views stream.
+    a_.HintSequentialScan();
+    b_.HintSequentialScan();
     const NodeId root = out_->AddNode(kNilNode, {});
     MergeNodes(a_.Root(), b_.Root(), root);
     out_->Finalize();
@@ -143,6 +147,7 @@ void MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out) {
 
 void CopyTree(const TreeView& view, TreeSink* sink) {
   TSW_CHECK(sink != nullptr);
+  view.HintSequentialScan();
   const NodeId root = sink->AddNode(kNilNode, {});
   std::vector<OccurrenceRec> occ_buf;
   view.GetOccurrences(view.Root(), &occ_buf);

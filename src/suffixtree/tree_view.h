@@ -88,6 +88,11 @@ class TreeView {
   /// edge labels, matching the serialized footprint.
   virtual std::uint64_t SizeBytes() const = 0;
 
+  /// Hint that the caller is about to scan the whole tree front to back
+  /// (merge, serialization). Disk-backed views prime their sequential
+  /// read-ahead; in-memory views ignore it.
+  virtual void HintSequentialScan() const {}
+
   /// DFS helper: appends every occurrence in the subtree of `node`.
   void CollectSubtreeOccurrences(NodeId node,
                                  std::vector<OccurrenceRec>* out) const;

@@ -1,34 +1,48 @@
-// Buffer pool persistence cycles: random write/flush/reopen workloads
-// against a shadow buffer, across pool capacities, verifying that data
-// survives arbitrary eviction orders and process "restarts" (pool
-// teardown + fresh pool over the same file).
+// Buffer manager persistence cycles: random write/flush/reopen workloads
+// against a shadow buffer, across frame budgets and both eviction
+// policies, verifying that data survives arbitrary eviction orders and
+// process "restarts" (manager teardown + fresh manager over the same
+// file).
 
 #include <filesystem>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "storage/buffer_pool.h"
+#include "storage/buffer_manager.h"
 #include "storage/paged_file.h"
 
 namespace tswarp::storage {
 namespace {
 
-class BufferPoolCycleTest : public testing::TestWithParam<std::size_t> {
+using CycleParam = std::tuple<std::size_t, EvictionPolicyKind>;
+
+class BufferManagerCycleTest : public testing::TestWithParam<CycleParam> {
  protected:
   void SetUp() override {
     path_ = (std::filesystem::temp_directory_path() /
              ("tswarp_pool_cycle_" + std::to_string(::getpid()) + "_" +
-              std::to_string(GetParam()) + ".dat"))
+              std::to_string(std::get<0>(GetParam())) + "_" +
+              EvictionPolicyKindToString(std::get<1>(GetParam())) + ".dat"))
                 .string();
   }
   void TearDown() override { std::filesystem::remove(path_); }
+
+  BufferManagerOptions Options() const {
+    BufferManagerOptions options;
+    options.capacity_pages = std::get<0>(GetParam());
+    options.eviction = std::get<1>(GetParam());
+    return options;
+  }
+
   std::string path_;
 };
 
-TEST_P(BufferPoolCycleTest, SurvivesReopenCycles) {
-  const std::size_t capacity = GetParam();
+TEST_P(BufferManagerCycleTest, SurvivesReopenCycles) {
+  const std::size_t capacity = std::get<0>(GetParam());
   const std::size_t kBytes = 5 * PagedFile::kPageSize;
   std::vector<std::uint8_t> shadow(kBytes, 0);
   Rng rng(9000 + capacity);
@@ -36,7 +50,7 @@ TEST_P(BufferPoolCycleTest, SurvivesReopenCycles) {
   auto file_or = PagedFile::Create(path_);
   ASSERT_TRUE(file_or.ok());
   auto file = std::make_unique<PagedFile>(std::move(file_or).value());
-  auto pool = std::make_unique<BufferPool>(file.get(), capacity);
+  auto pool = std::make_unique<BufferManager>(file.get(), Options());
 
   for (int cycle = 0; cycle < 5; ++cycle) {
     for (int op = 0; op < 120; ++op) {
@@ -60,14 +74,14 @@ TEST_P(BufferPoolCycleTest, SurvivesReopenCycles) {
         }
       }
     }
-    // "Restart": flush, drop the pool and the file handle, reopen.
+    // "Restart": flush, drop the manager and the file handle, reopen.
     ASSERT_TRUE(pool->Flush().ok());
     pool.reset();
     file.reset();
     auto reopened = PagedFile::Open(path_, /*writable=*/true);
     ASSERT_TRUE(reopened.ok());
     file = std::make_unique<PagedFile>(std::move(reopened).value());
-    pool = std::make_unique<BufferPool>(file.get(), capacity);
+    pool = std::make_unique<BufferManager>(file.get(), Options());
     // Full verification after reopen.
     std::vector<std::uint8_t> all(kBytes);
     ASSERT_TRUE(pool->Read(0, all.data(), kBytes).ok());
@@ -75,11 +89,15 @@ TEST_P(BufferPoolCycleTest, SurvivesReopenCycles) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Capacities, BufferPoolCycleTest,
-                         testing::Values(1u, 2u, 3u, 8u, 64u),
-                         [](const testing::TestParamInfo<std::size_t>& info) {
-                           return "cap" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, BufferManagerCycleTest,
+    testing::Combine(testing::Values(1u, 2u, 3u, 8u, 64u),
+                     testing::Values(EvictionPolicyKind::kLru,
+                                     EvictionPolicyKind::kClock)),
+    [](const testing::TestParamInfo<CycleParam>& info) {
+      return "cap" + std::to_string(std::get<0>(info.param)) + "_" +
+             EvictionPolicyKindToString(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace tswarp::storage

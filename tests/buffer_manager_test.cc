@@ -1,0 +1,270 @@
+// BufferManager-specific invariants: pin semantics (pinned pages are
+// never evicted, overflow past the budget instead), shard-crossing
+// multi-page reads, policy equivalence (CLOCK and LRU return identical
+// bytes), read-ahead accounting, and per-shard stats consistency.
+
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/buffer_manager.h"
+#include "storage/paged_file.h"
+
+namespace tswarp::storage {
+namespace {
+
+class BufferManagerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tswarp_buffer_manager_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Creates a file whose page p starts with the 64-bit marker `p`.
+  PagedFile MakeMarkedFile(const std::string& name, std::uint64_t pages) {
+    auto file_or = PagedFile::Create(Path(name));
+    EXPECT_TRUE(file_or.ok());
+    PagedFile file = std::move(file_or).value();
+    std::vector<std::byte> page(PagedFile::kPageSize);
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      std::memset(page.data(), static_cast<int>(p & 0x3F), page.size());
+      std::memcpy(page.data(), &p, sizeof(p));
+      EXPECT_TRUE(file.WritePage(p, page).ok());
+    }
+    EXPECT_TRUE(file.Sync().ok());
+    return file;
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::uint64_t Marker(const PageGuard& guard) {
+  std::uint64_t marker = 0;
+  std::memcpy(&marker, guard.bytes().data(), sizeof(marker));
+  return marker;
+}
+
+TEST_F(BufferManagerTest, PinnedPagesAreNeverEvicted) {
+  PagedFile file = MakeMarkedFile("pinned.dat", 16);
+  BufferManagerOptions options;
+  options.capacity_pages = 4;
+  options.num_shards = 1;
+  BufferManager mgr(&file, options);
+
+  // Hold more pins than the whole budget: every extra pin must overflow
+  // the shard rather than evict a pinned frame.
+  std::vector<PageGuard> guards;
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    auto guard = mgr.Pin(p, PinIntent::kRead);
+    ASSERT_TRUE(guard.ok());
+    guards.push_back(std::move(guard).value());
+  }
+  EXPECT_EQ(mgr.stats().evictions, 0u);
+  EXPECT_GE(mgr.stats().overflow_pins, 4u);
+  // Every guard still views its own page.
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(Marker(guards[p]), p);
+  }
+  guards.clear();
+
+  // With the pins gone, eviction works again and stays byte-correct.
+  for (std::uint64_t p = 8; p < 16; ++p) {
+    auto guard = mgr.Pin(p, PinIntent::kRead);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(Marker(*guard), p);
+  }
+  EXPECT_GT(mgr.stats().evictions, 0u);
+}
+
+TEST_F(BufferManagerTest, ShardCrossingMultiPageRead) {
+  PagedFile file = MakeMarkedFile("shards.dat", 12);
+  BufferManagerOptions options;
+  options.capacity_pages = 16;
+  options.num_shards = 4;
+  BufferManager mgr(&file, options);
+  ASSERT_EQ(mgr.num_shards(), 4u);
+
+  // One byte-granular read spanning all 12 pages (and all 4 shards).
+  std::vector<std::byte> all(12 * PagedFile::kPageSize);
+  ASSERT_TRUE(mgr.Read(0, all.data(), all.size()).ok());
+  for (std::uint64_t p = 0; p < 12; ++p) {
+    std::uint64_t marker = 0;
+    std::memcpy(&marker, all.data() + p * PagedFile::kPageSize,
+                sizeof(marker));
+    EXPECT_EQ(marker, p);
+  }
+
+  // A misaligned read crossing a page (= shard) boundary.
+  std::uint64_t pair[2] = {0, 0};
+  const std::uint64_t off = PagedFile::kPageSize - sizeof(std::uint64_t);
+  ASSERT_TRUE(mgr.Read(off, pair, sizeof(pair)).ok());
+  EXPECT_EQ(pair[1], 1u);  // Marker of page 1.
+
+  // Guards from different shards can be held simultaneously.
+  auto g0 = mgr.Pin(0, PinIntent::kRead);
+  auto g1 = mgr.Pin(1, PinIntent::kRead);
+  auto g2 = mgr.Pin(2, PinIntent::kRead);
+  ASSERT_TRUE(g0.ok() && g1.ok() && g2.ok());
+  EXPECT_EQ(Marker(*g0), 0u);
+  EXPECT_EQ(Marker(*g1), 1u);
+  EXPECT_EQ(Marker(*g2), 2u);
+
+  // Per-shard stats sum to the aggregate.
+  const auto shard_stats = mgr.ShardStats();
+  ASSERT_EQ(shard_stats.size(), 4u);
+  BufferManager::Stats sum;
+  for (const auto& s : shard_stats) sum += s;
+  const auto total = mgr.stats();
+  EXPECT_EQ(sum.hits, total.hits);
+  EXPECT_EQ(sum.misses, total.misses);
+  EXPECT_EQ(sum.evictions, total.evictions);
+}
+
+TEST_F(BufferManagerTest, ClockAndLruReturnIdenticalBytes) {
+  // Same randomized workload against an LRU-managed and a CLOCK-managed
+  // file; both must agree with the shadow buffer at every step.
+  const std::size_t kBytes = 8 * PagedFile::kPageSize;
+  std::vector<std::uint8_t> shadow(kBytes, 0);
+
+  auto lru_file_or = PagedFile::Create(Path("lru.dat"));
+  auto clock_file_or = PagedFile::Create(Path("clock.dat"));
+  ASSERT_TRUE(lru_file_or.ok() && clock_file_or.ok());
+  PagedFile lru_file = std::move(lru_file_or).value();
+  PagedFile clock_file = std::move(clock_file_or).value();
+
+  BufferManagerOptions lru_options;
+  lru_options.capacity_pages = 3;  // Tiny: constant eviction.
+  lru_options.eviction = EvictionPolicyKind::kLru;
+  BufferManagerOptions clock_options = lru_options;
+  clock_options.eviction = EvictionPolicyKind::kClock;
+  BufferManager lru(&lru_file, lru_options);
+  BufferManager clock(&clock_file, clock_options);
+
+  Rng rng(777);
+  for (int op = 0; op < 600; ++op) {
+    const auto off = static_cast<std::uint64_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(kBytes) - 128));
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 128));
+    if (rng.Coin(0.5)) {
+      std::vector<std::uint8_t> data(n);
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+      }
+      ASSERT_TRUE(lru.Write(off, data.data(), n).ok());
+      ASSERT_TRUE(clock.Write(off, data.data(), n).ok());
+      std::copy(data.begin(), data.end(),
+                shadow.begin() + static_cast<long>(off));
+    } else {
+      std::vector<std::uint8_t> a(n, 0xAA), b(n, 0xBB);
+      ASSERT_TRUE(lru.Read(off, a.data(), n).ok());
+      ASSERT_TRUE(clock.Read(off, b.data(), n).ok());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(a[i], shadow[off + i]) << "lru offset " << (off + i);
+        ASSERT_EQ(b[i], shadow[off + i]) << "clock offset " << (off + i);
+      }
+    }
+  }
+  EXPECT_GT(lru.stats().evictions, 0u);
+  EXPECT_GT(clock.stats().evictions, 0u);
+}
+
+TEST_F(BufferManagerTest, SequentialReadAheadFaultsAndCounts) {
+  PagedFile file = MakeMarkedFile("readahead.dat", 32);
+  BufferManagerOptions options;
+  options.capacity_pages = 64;
+  options.readahead_pages = 4;
+  BufferManager mgr(&file, options);
+
+  // A front-to-back scan: after the first two sequential faults the
+  // manager prefetches ahead, so readaheads must show up and the data
+  // must stay correct.
+  std::vector<std::byte> all(32 * PagedFile::kPageSize);
+  ASSERT_TRUE(mgr.Read(0, all.data(), all.size()).ok());
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    std::uint64_t marker = 0;
+    std::memcpy(&marker, all.data() + p * PagedFile::kPageSize,
+                sizeof(marker));
+    EXPECT_EQ(marker, p);
+  }
+  EXPECT_GT(mgr.stats().readaheads, 0u);
+  // Every page was faulted exactly once, demand or ahead.
+  EXPECT_EQ(mgr.stats().misses, 32u);
+
+  // Explicit hint: all pages resident, so it costs nothing new.
+  mgr.ReadAhead(0, 8);
+  EXPECT_EQ(mgr.stats().misses, 32u);
+}
+
+TEST_F(BufferManagerTest, ReadAheadDisabledByDefault) {
+  PagedFile file = MakeMarkedFile("noreadahead.dat", 8);
+  BufferManager mgr(&file, 16);  // Convenience ctor: readahead off.
+  std::vector<std::byte> all(8 * PagedFile::kPageSize);
+  ASSERT_TRUE(mgr.Read(0, all.data(), all.size()).ok());
+  EXPECT_EQ(mgr.stats().readaheads, 0u);
+  EXPECT_EQ(mgr.stats().misses, 8u);
+}
+
+TEST_F(BufferManagerTest, WriteGuardMarksDirtyAndFlushPersists) {
+  auto file_or = PagedFile::Create(Path("write.dat"));
+  ASSERT_TRUE(file_or.ok());
+  PagedFile file = std::move(file_or).value();
+  BufferManager mgr(&file, 4);
+  {
+    auto guard = mgr.Pin(2, PinIntent::kWrite);
+    ASSERT_TRUE(guard.ok());
+    const std::uint64_t marker = 0xDEADBEEFu;
+    std::memcpy(guard->mutable_bytes().data(), &marker, sizeof(marker));
+  }
+  ASSERT_TRUE(mgr.Flush().ok());
+  std::vector<std::byte> page(PagedFile::kPageSize);
+  ASSERT_TRUE(file.ReadPage(2, page).ok());
+  std::uint64_t marker = 0;
+  std::memcpy(&marker, page.data(), sizeof(marker));
+  EXPECT_EQ(marker, 0xDEADBEEFu);
+}
+
+TEST_F(BufferManagerTest, ShardCountNormalization) {
+  auto file_or = PagedFile::Create(Path("norm.dat"));
+  ASSERT_TRUE(file_or.ok());
+  PagedFile file = std::move(file_or).value();
+  {
+    BufferManagerOptions options;
+    options.capacity_pages = 2;
+    options.num_shards = 64;  // Clamped to the frame budget.
+    BufferManager mgr(&file, options);
+    EXPECT_EQ(mgr.num_shards(), 2u);
+  }
+  {
+    BufferManagerOptions options;
+    options.capacity_pages = 256;
+    options.num_shards = 0;  // Auto: >= 1, never more than 16.
+    BufferManager mgr(&file, options);
+    EXPECT_GE(mgr.num_shards(), 1u);
+    EXPECT_LE(mgr.num_shards(), 16u);
+  }
+}
+
+TEST_F(BufferManagerTest, EvictionPolicyKindParsing) {
+  EvictionPolicyKind kind = EvictionPolicyKind::kLru;
+  EXPECT_TRUE(ParseEvictionPolicyKind("clock", &kind));
+  EXPECT_EQ(kind, EvictionPolicyKind::kClock);
+  EXPECT_TRUE(ParseEvictionPolicyKind("lru", &kind));
+  EXPECT_EQ(kind, EvictionPolicyKind::kLru);
+  EXPECT_FALSE(ParseEvictionPolicyKind("fifo", &kind));
+  EXPECT_STREQ(EvictionPolicyKindToString(EvictionPolicyKind::kLru), "lru");
+  EXPECT_STREQ(EvictionPolicyKindToString(EvictionPolicyKind::kClock),
+               "clock");
+}
+
+}  // namespace
+}  // namespace tswarp::storage

@@ -9,6 +9,9 @@
 //     byte-identical Match sets to the unfiltered engine for range and
 //     k-NN queries, serial and multi-threaded, across all index kinds and
 //     for the SeqScan baseline.
+//  3. Disk-backed searches are byte-identical to a serial single-mutex
+//     baseline across every buffer-pool configuration (eviction policy x
+//     shard count x thread count) for all three index kinds.
 //
 // Sequences mix three adversarial shapes: Gaussian random walks, spike
 // trains (flat with rare large jumps — stresses the envelope edges), and
@@ -17,6 +20,7 @@
 // names the case's seed, so any case replays deterministically.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -27,6 +31,7 @@
 #include "dtw/dtw.h"
 #include "dtw/envelope.h"
 #include "seqdb/sequence_database.h"
+#include "storage/buffer_manager.h"
 
 namespace tswarp {
 namespace {
@@ -210,6 +215,64 @@ TEST(DifferentialTest, FastPathBandedSearchByteIdentical) {
                           index->SearchKnn(q, 5, fast),
                           "banded knn seed=" + std::to_string(seed) +
                               " band=" + std::to_string(band));
+    }
+  }
+}
+
+TEST(DifferentialTest, DiskBackedSearchByteIdenticalAcrossPoolConfigs) {
+  // Acceptance gate for the sharded buffer manager: for every index kind,
+  // disk-backed searches through any (eviction, shards, threads) pool
+  // configuration return byte-identical matches to a serial search through
+  // the single-mutex (1-shard) baseline pool. The pool is kept tiny so
+  // every configuration actually evicts and re-reads pages mid-search.
+  for (const IndexKind kind : {IndexKind::kSuffixTree,
+                               IndexKind::kCategorized,
+                               IndexKind::kSparse}) {
+    const std::string kind_name = core::IndexKindToString(kind);
+    const seqdb::SequenceDatabase db = RandomDb(
+        200 + static_cast<std::uint64_t>(kind));
+    Rng rng(4000 + static_cast<std::uint64_t>(kind));
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(2, 8)), 1);
+    const Value eps = rng.Uniform(1.0, 10.0);
+
+    IndexOptions build;
+    build.kind = kind;
+    build.num_categories = 8;
+    build.disk_path = testing::TempDir() + "/diff_disk_" + kind_name;
+    build.disk_batch_sequences = 4;
+    build.disk_pool_pages = 2;
+    build.disk_pool_shards = 1;  // Single-mutex baseline.
+    auto baseline = Index::Build(&db, build);
+    ASSERT_TRUE(baseline.ok()) << kind_name << ": "
+                               << baseline.status().ToString();
+    const std::vector<Match> reference = baseline->Search(q, eps);
+    const std::vector<Match> knn_reference = baseline->SearchKnn(q, 7);
+
+    for (const auto eviction : {storage::EvictionPolicyKind::kLru,
+                                storage::EvictionPolicyKind::kClock}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        IndexOptions reopen = build;
+        reopen.disk_pool_shards = shards;
+        reopen.disk_eviction = eviction;
+        reopen.disk_readahead_pages = 2;
+        auto index = Index::Open(&db, reopen);
+        ASSERT_TRUE(index.ok()) << kind_name << ": "
+                                << index.status().ToString();
+        for (const std::size_t threads : {0u, 4u}) {
+          QueryOptions query_options;
+          query_options.num_threads = threads;
+          const std::string ctx =
+              kind_name + " " +
+              storage::EvictionPolicyKindToString(eviction) + " shards=" +
+              std::to_string(shards) + " threads=" + std::to_string(threads);
+          ExpectByteIdentical(reference, index->Search(q, eps, query_options),
+                              "disk range " + ctx);
+          ExpectByteIdentical(knn_reference,
+                              index->SearchKnn(q, 7, query_options),
+                              "disk knn " + ctx);
+        }
+      }
     }
   }
 }

@@ -129,7 +129,58 @@ TEST_F(DiskTreeTest, TinyPoolStillCorrect) {
   auto disk = DiskSuffixTree::Open(Path("t3"), options);
   ASSERT_TRUE(disk.ok());
   EXPECT_EQ(Canonicalize(**disk), Canonicalize(memory_tree));
-  EXPECT_GT((*disk)->PoolStats().misses, 0u);
+  EXPECT_GT((*disk)->PoolStats().Total().misses, 0u);
+}
+
+TEST_F(DiskTreeTest, PoolOptionsDoNotChangeStructure) {
+  // Any (shards, eviction, readahead) combination must read back the
+  // identical tree.
+  const SymbolDatabase db = RandomSymbolDb(4, 8, 25, 3);
+  const SuffixTree memory_tree = BuildSuffixTree(db);
+  ASSERT_TRUE(WriteTreeToDisk(memory_tree, Path("t4")).ok());
+  const Canon expected = Canonicalize(memory_tree);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    for (const auto eviction : {storage::EvictionPolicyKind::kLru,
+                                storage::EvictionPolicyKind::kClock}) {
+      DiskTreeOptions options;
+      options.pool_pages = 2;
+      options.pool_shards = shards;
+      options.eviction = eviction;
+      options.readahead_pages = 2;
+      auto disk = DiskSuffixTree::Open(Path("t4"), options);
+      ASSERT_TRUE(disk.ok()) << disk.status();
+      EXPECT_EQ((*disk)->pool_eviction(), eviction);
+      EXPECT_EQ(Canonicalize(**disk), expected)
+          << shards << " shards, "
+          << storage::EvictionPolicyKindToString(eviction);
+    }
+  }
+}
+
+TEST_F(DiskTreeTest, WriterCloseIsIdempotent) {
+  const SymbolDatabase db = RandomSymbolDb(5, 4, 15, 3);
+  const SuffixTree memory_tree = BuildSuffixTree(db);
+  auto writer = DiskTreeWriter::Create(Path("t5"));
+  ASSERT_TRUE(writer.ok());
+  CopyTree(memory_tree, writer->get());
+  ASSERT_TRUE((*writer)->Close().ok());
+  // Second close: no meta rewrite, same latched outcome.
+  EXPECT_TRUE((*writer)->Close().ok());
+  auto disk = DiskSuffixTree::Open(Path("t5"));
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(Canonicalize(**disk), Canonicalize(memory_tree));
+}
+
+TEST_F(DiskTreeTest, CloseBeforeFinalizeLatchesFailedPrecondition) {
+  auto writer = DiskTreeWriter::Create(Path("t6"));
+  ASSERT_TRUE(writer.ok());
+  (*writer)->AddNode(kNilNode, {});
+  const Status first = (*writer)->Close();
+  EXPECT_EQ(first.code(), StatusCode::kFailedPrecondition);
+  // The failure is latched: repeated calls return it and never write meta.
+  EXPECT_EQ((*writer)->Close(), first);
+  EXPECT_EQ((*writer)->status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(DiskSuffixTree::Open(Path("t6")).ok());
 }
 
 TEST_F(DiskTreeTest, BuildDiskTreeEqualsDirectBuild) {

@@ -144,7 +144,7 @@ TEST(ParallelSearchTest, DiskBackedIndexMatchesSerial) {
                      "disk knn");
   // Pool counters kept counting under concurrency.
   ASSERT_NE(index->disk_tree(), nullptr);
-  const auto pool_stats = index->disk_tree()->PoolStats();
+  const auto pool_stats = index->disk_tree()->PoolStats().Total();
   EXPECT_GT(pool_stats.hits + pool_stats.misses, 0u);
 }
 

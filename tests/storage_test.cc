@@ -1,4 +1,4 @@
-#include "storage/buffer_pool.h"
+#include "storage/buffer_manager.h"
 #include "storage/paged_file.h"
 
 #include <cstring>
@@ -74,11 +74,11 @@ TEST_F(StorageTest, PersistAcrossReopen) {
   EXPECT_EQ(read[100], std::byte{0x5A});
 }
 
-TEST_F(StorageTest, BufferPoolReadWriteAcrossPageBoundary) {
+TEST_F(StorageTest, BufferManagerReadWriteAcrossPageBoundary) {
   auto file_or = PagedFile::Create(Path("d.dat"));
   ASSERT_TRUE(file_or.ok());
   PagedFile file = std::move(file_or).value();
-  BufferPool pool(&file, 4);
+  BufferManager pool(&file, 4);
   // A record straddling the page boundary.
   std::vector<std::uint32_t> record(64);
   for (std::size_t i = 0; i < record.size(); ++i) {
@@ -93,11 +93,11 @@ TEST_F(StorageTest, BufferPoolReadWriteAcrossPageBoundary) {
   EXPECT_EQ(read, record);
 }
 
-TEST_F(StorageTest, BufferPoolEvictsAndWritesBack) {
+TEST_F(StorageTest, BufferManagerEvictsAndWritesBack) {
   auto file_or = PagedFile::Create(Path("e.dat"));
   ASSERT_TRUE(file_or.ok());
   PagedFile file = std::move(file_or).value();
-  BufferPool pool(&file, 2);  // Tiny pool: constant eviction.
+  BufferManager pool(&file, 2);  // Tiny pool: constant eviction.
   const int kPages = 10;
   for (int p = 0; p < kPages; ++p) {
     const std::uint64_t marker = 0xABCD0000u + static_cast<std::uint64_t>(p);
@@ -109,7 +109,7 @@ TEST_F(StorageTest, BufferPoolEvictsAndWritesBack) {
   EXPECT_GT(pool.stats().writebacks, 0u);
   ASSERT_TRUE(pool.Flush().ok());
   // Everything must be readable back (through fresh pool).
-  BufferPool pool2(&file, 2);
+  BufferManager pool2(&file, 2);
   for (int p = 0; p < kPages; ++p) {
     std::uint64_t marker = 0;
     ASSERT_TRUE(pool2.Read(static_cast<std::uint64_t>(p) *
@@ -119,11 +119,15 @@ TEST_F(StorageTest, BufferPoolEvictsAndWritesBack) {
   }
 }
 
-TEST_F(StorageTest, BufferPoolLruKeepsHotPage) {
+TEST_F(StorageTest, BufferManagerLruKeepsHotPage) {
   auto file_or = PagedFile::Create(Path("f.dat"));
   ASSERT_TRUE(file_or.ok());
   PagedFile file = std::move(file_or).value();
-  BufferPool pool(&file, 2);
+  // Single shard so the hot page and the cycling pages share one LRU.
+  BufferManagerOptions options;
+  options.capacity_pages = 2;
+  options.num_shards = 1;
+  BufferManager pool(&file, options);
   std::uint32_t v = 1;
   // Touch page 0 repeatedly while cycling pages 1..5: page 0 stays hot...
   ASSERT_TRUE(pool.Write(0, &v, sizeof(v)).ok());
@@ -142,7 +146,7 @@ TEST_F(StorageTest, RandomizedPoolMatchesShadowBuffer) {
   auto file_or = PagedFile::Create(Path("g.dat"));
   ASSERT_TRUE(file_or.ok());
   PagedFile file = std::move(file_or).value();
-  BufferPool pool(&file, 3);
+  BufferManager pool(&file, 3);
   const std::size_t kBytes = 6 * PagedFile::kPageSize;
   std::vector<std::uint8_t> shadow(kBytes, 0);
   Rng rng(321);

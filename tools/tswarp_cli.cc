@@ -19,6 +19,7 @@
 
 #include "core/index.h"
 #include "core/seq_scan.h"
+#include "storage/buffer_manager.h"
 #include "datagen/generators.h"
 #include "suffixtree/dot_export.h"
 
@@ -104,10 +105,13 @@ int Usage() {
                "[--len L] [--seed S]\n"
                "  info DB\n"
                "  build DB --index PATH [--kind st|stc|sstc] "
-               "[--categories C] [--method el|me|km]\n"
+               "[--categories C] [--method el|me|km] [--pool-pages P] "
+               "[--pool-shards S] [--eviction lru|clock] [--readahead R]\n"
                "  search DB --query v1,v2,... --epsilon E [--kind ...] "
                "[--categories C] [--index PATH] [--scan] [--limit N] "
-               "[--threads T] [--band B] [--no-lb] [--stats]\n"
+               "[--threads T] [--band B] [--no-lb] [--stats] "
+               "[--pool-pages P] [--pool-shards S] [--eviction lru|clock] "
+               "[--readahead R]\n"
                "  knn DB --query v1,v2,... --k K [--kind ...] "
                "[--categories C] [--threads T] [--band B] [--no-lb] "
                "[--stats]\n"
@@ -127,8 +131,22 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+void PrintPoolLine(const char* name,
+                   const storage::BufferManager::Stats& s) {
+  std::printf("pool %-7s hits %llu, misses %llu, readaheads %llu, "
+              "evictions %llu, writebacks %llu, overflow-pins %llu, "
+              "shard-conflicts %llu\n",
+              name, static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.readaheads),
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.writebacks),
+              static_cast<unsigned long long>(s.overflow_pins),
+              static_cast<unsigned long long>(s.shard_conflicts));
+}
+
 /// Prints the merged traversal counters and, for disk-backed indexes, the
-/// aggregate buffer-pool cache behavior of this query.
+/// per-region buffer-manager cache behavior of this query.
 void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
   std::printf(
       "stats: nodes %llu, rows %llu (+%llu replayed), pruned %llu, "
@@ -144,14 +162,74 @@ void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
       static_cast<unsigned long long>(stats.lb_pruned),
       static_cast<unsigned long long>(stats.exact_dtw_calls));
   if (index.disk_tree() != nullptr) {
-    const auto pool = index.disk_tree()->PoolStats();
-    std::printf("pool:  hits %llu, misses %llu, evictions %llu, "
-                "writebacks %llu\n",
-                static_cast<unsigned long long>(pool.hits),
-                static_cast<unsigned long long>(pool.misses),
-                static_cast<unsigned long long>(pool.evictions),
-                static_cast<unsigned long long>(pool.writebacks));
+    const suffixtree::DiskSuffixTree& tree = *index.disk_tree();
+    std::printf("pool config: %zu pages x 3 regions, %zu shards, %s "
+                "eviction\n",
+                index.options().disk_pool_pages, tree.pool_shards(),
+                storage::EvictionPolicyKindToString(tree.pool_eviction()));
+    const suffixtree::RegionStats pool = tree.PoolStats();
+    PrintPoolLine("nodes:", pool.nodes);
+    PrintPoolLine("occs:", pool.occs);
+    PrintPoolLine("labels:", pool.labels);
+    PrintPoolLine("total:", pool.Total());
   }
+}
+
+/// Parses the buffer-manager flags into `options`. They tune the disk
+/// pool, so all of them require --index (the disk-backed mode); returns
+/// false (after printing) on a bad value or a missing --index.
+bool ApplyPoolFlags(int argc, char** argv, IndexOptions* options) {
+  const bool has_any = FlagValue(argc, argv, "--pool-pages", nullptr) !=
+                           nullptr ||
+                       FlagValue(argc, argv, "--pool-shards", nullptr) !=
+                           nullptr ||
+                       FlagValue(argc, argv, "--eviction", nullptr) !=
+                           nullptr ||
+                       FlagValue(argc, argv, "--readahead", nullptr) !=
+                           nullptr;
+  if (!has_any) return true;
+  if (options->disk_path.empty()) {
+    std::fprintf(stderr,
+                 "--pool-pages/--pool-shards/--eviction/--readahead tune "
+                 "the disk buffer manager and are only meaningful with "
+                 "--index PATH\n");
+    return false;
+  }
+  const long pages =
+      FlagLong(argc, argv, "--pool-pages",
+               static_cast<long>(options->disk_pool_pages));
+  if (pages < 1) {
+    std::fprintf(stderr, "--pool-pages must be >= 1 (got %ld)\n", pages);
+    return false;
+  }
+  options->disk_pool_pages = static_cast<std::size_t>(pages);
+  const long shards =
+      FlagLong(argc, argv, "--pool-shards",
+               static_cast<long>(options->disk_pool_shards));
+  if (shards < 0) {
+    std::fprintf(stderr, "--pool-shards must be >= 0, 0 = auto (got %ld)\n",
+                 shards);
+    return false;
+  }
+  options->disk_pool_shards = static_cast<std::size_t>(shards);
+  const char* eviction = FlagValue(argc, argv, "--eviction", nullptr);
+  if (eviction != nullptr &&
+      !storage::ParseEvictionPolicyKind(eviction,
+                                        &options->disk_eviction)) {
+    std::fprintf(stderr, "--eviction must be lru or clock (got %s)\n",
+                 eviction);
+    return false;
+  }
+  const long readahead =
+      FlagLong(argc, argv, "--readahead",
+               static_cast<long>(options->disk_readahead_pages));
+  if (readahead < 0) {
+    std::fprintf(stderr, "--readahead must be >= 0 pages (got %ld)\n",
+                 readahead);
+    return false;
+  }
+  options->disk_readahead_pages = static_cast<std::size_t>(readahead);
+  return true;
 }
 
 IndexOptions OptionsFromFlags(int argc, char** argv) {
@@ -245,6 +323,7 @@ int CmdBuild(int argc, char** argv) {
     std::fprintf(stderr, "build requires --index PATH\n");
     return 2;
   }
+  if (!ApplyPoolFlags(argc, argv, &options)) return 1;
   auto index = Index::Build(&*db, options);
   if (!index.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
@@ -288,6 +367,7 @@ int CmdSearch(int argc, char** argv) {
     matches = core::SeqScan(*db, query, epsilon, scan_options);
   } else {
     IndexOptions options = OptionsFromFlags(argc, argv);
+    if (!ApplyPoolFlags(argc, argv, &options)) return 1;
     StatusOr<Index> index = Status::NotFound("");
     if (!options.disk_path.empty()) {
       index = Index::Open(&*db, options);
@@ -337,7 +417,9 @@ int CmdKnn(int argc, char** argv) {
       ParseQuery(FlagValue(argc, argv, "--query", nullptr));
   if (query.empty()) return Usage();
   const auto k = static_cast<std::size_t>(FlagLong(argc, argv, "--k", 5));
-  auto index = Index::Build(&*db, OptionsFromFlags(argc, argv));
+  IndexOptions options = OptionsFromFlags(argc, argv);
+  if (!ApplyPoolFlags(argc, argv, &options)) return 1;
+  auto index = Index::Build(&*db, options);
   if (!index.ok()) {
     std::fprintf(stderr, "index failed: %s\n",
                  index.status().ToString().c_str());
