@@ -1,24 +1,32 @@
 // Micro benchmarks of the DTW kernels and the suffix-tree construction /
 // merge substrates (google-benchmark).
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "categorize/categorizer.h"
+#include "core/match.h"
+#include "core/tree_search.h"
 #include "storage/buffer_manager.h"
 #include "storage/paged_file.h"
 #include "common/random.h"
 #include "datagen/generators.h"
 #include "dtw/alignment.h"
+#include "dtw/base.h"
 #include "dtw/dtw.h"
 #include "dtw/envelope.h"
 #include "dtw/warping_table.h"
+#include "seqdb/sequence_database.h"
 #include "suffixtree/merge.h"
 #include "suffixtree/suffix_tree.h"
+#include "suffixtree/tree_view.h"
 #include "suffixtree/ukkonen.h"
 #include "suffixtree/symbol_database.h"
 
@@ -391,6 +399,227 @@ BENCHMARK(BM_UkkonenVsInsertion)
     ->Args({1000, 1})
     ->Args({20000, 0})
     ->Args({20000, 1});
+
+// --- Unified search driver vs pre-refactor inlined DFS ------------------
+// The categorized tree search used to be one hand-inlined serial loop in
+// tree_search.cc; it is now an instantiation of the generic
+// core::SearchDriver<CategoryModel>. This pair measures the abstraction
+// cost on the same index / query / epsilon: BM_CategorizedSearchDriver
+// goes through the driver (the shipping path), BM_CategorizedInlinedDfs
+// through a line-for-line copy of the pre-refactor loop. Regression
+// budget for the driver: within 2% of the inlined baseline. The `lb` arg
+// toggles the envelope verification cascade on both sides.
+
+struct SearchFixture {
+  SearchFixture()
+      : db(datagen::GenerateStocks(StockOpts())),
+        alphabet(categorize::BuildMaxEntropy(categorize::CollectValues(db),
+                                             /*num_categories=*/32)
+                     .value()),
+        symbols(std::move(
+            categorize::ConvertDatabase(db, &alphabet).sequences)),
+        tree(suffixtree::BuildSuffixTree(symbols)) {
+    // A subsequence of the data, so the search does real emission work.
+    const std::span<const Value> s = db.Subsequence(0, 10, 12);
+    query.assign(s.begin(), s.end());
+  }
+
+  static datagen::StockOptions StockOpts() {
+    datagen::StockOptions opt;
+    opt.num_sequences = 40;
+    return opt;
+  }
+
+  seqdb::SequenceDatabase db;
+  categorize::Alphabet alphabet;
+  suffixtree::SymbolDatabase symbols;
+  suffixtree::SuffixTree tree;
+  std::vector<Value> query;
+};
+
+const SearchFixture& SharedSearchFixture() {
+  static const SearchFixture* fixture = new SearchFixture();
+  return *fixture;
+}
+
+constexpr Value kSearchFixtureEps = 10.0;
+
+/// Hand-rolled copy of the serial categorized (dense ST_C, range-mode)
+/// search loop exactly as it stood before the SearchDriver refactor:
+/// interval rows, Theorem-1 pruning, endpoint/envelope/exact verification
+/// cascade. Kept only as the benchmark baseline — do not grow features
+/// here; the shipping kernel is core::SearchDriver.
+class InlinedCategorizedDfs {
+ public:
+  InlinedCategorizedDfs(const SearchFixture& f, Value eps,
+                        const dtw::QueryEnvelope* env)
+      : tree_(f.tree),
+        alphabet_(f.alphabet),
+        db_(f.db),
+        query_(f.query),
+        eps_(eps),
+        env_(env),
+        table_(query_, /*band=*/0) {}
+
+  const std::vector<core::Match>& Run() {
+    frames_.clear();
+    PushFrame(tree_.Root());
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      suffixtree::Children& children = ChildrenAt(frames_.size() - 1);
+      if (f.edge >= children.edges.size()) {
+        frames_.pop_back();
+        if (!frames_.empty()) {
+          table_.PopRows(frames_.back().pushed);
+          frames_.back().pushed = 0;
+          ++frames_.back().edge;
+        }
+        continue;
+      }
+
+      const suffixtree::Children::Edge& edge = children.edges[f.edge];
+      const std::span<const Symbol> label = children.Label(edge);
+      std::size_t pushed = 0;
+      bool descend = true;
+      occ_buf_.clear();
+      bool occ_collected = false;
+      for (const Symbol sym : label) {
+        const dtw::Interval iv = alphabet_.ToInterval(sym);
+        table_.PushRowInterval(iv.lb, iv.ub);
+        ++pushed;
+        ++stats_.rows_pushed;
+        stats_.unshared_rows += tree_.SubtreeOccCount(edge.child);
+        const Value dist = table_.LastColumn();
+        if (dist <= eps_) {
+          if (!occ_collected) {
+            tree_.CollectSubtreeOccurrences(edge.child, &occ_buf_);
+            occ_collected = true;
+          }
+          EmitCandidates(dist);
+        }
+        if (table_.RowMin() > eps_) {
+          ++stats_.branches_pruned;
+          descend = false;
+          break;
+        }
+      }
+      if (descend) {
+        f.pushed = pushed;
+        PushFrame(edge.child);
+      } else {
+        table_.PopRows(pushed);
+        ++f.edge;
+      }
+    }
+    std::sort(answers_.begin(), answers_.end(), core::MatchLess);
+    stats_.answers = answers_.size();
+    return answers_;
+  }
+
+  const core::SearchStats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    suffixtree::NodeId node;
+    std::size_t edge = 0;
+    std::size_t pushed = 0;
+  };
+
+  suffixtree::Children& ChildrenAt(std::size_t depth) {
+    if (children_stack_.size() <= depth) children_stack_.resize(depth + 1);
+    return children_stack_[depth];
+  }
+
+  void PushFrame(suffixtree::NodeId node) {
+    ++stats_.nodes_visited;
+    frames_.push_back({node, 0, 0});
+    tree_.GetChildren(node, &ChildrenAt(frames_.size() - 1));
+  }
+
+  void EmitCandidates(Value dist) {
+    const auto depth = static_cast<Pos>(table_.NumRows());
+    for (const suffixtree::OccurrenceRec& occ : occ_buf_) {
+      PostProcess(occ.seq, occ.pos, depth, dist);
+    }
+  }
+
+  void PostProcess(SeqId seq, Pos start, Pos len, Value /*dist*/) {
+    ++stats_.candidates;
+    const std::span<const Value> sub = db_.Subsequence(seq, start, len);
+    if (dtw::EndpointLowerBound(query_, sub) > eps_) {
+      ++stats_.endpoint_rejections;
+      return;
+    }
+    if (env_ != nullptr) {
+      ++stats_.lb_invocations;
+      if (dtw::LbImproved(*env_, query_, sub, eps_, &lb_scratch_) > eps_) {
+        ++stats_.lb_pruned;
+        return;
+      }
+    }
+    ++stats_.exact_dtw_calls;
+    Value d = 0.0;
+    if (env_ != nullptr) {
+      if (!dtw::DtwWithinThresholdLb(query_, sub, *env_, eps_, &d,
+                                     &lb_scratch_)) {
+        return;
+      }
+    } else if (!dtw::DtwWithinThreshold(query_, sub, eps_, &d)) {
+      return;
+    }
+    answers_.push_back({seq, start, len, d});
+  }
+
+  const suffixtree::TreeView& tree_;
+  const categorize::Alphabet& alphabet_;
+  const seqdb::SequenceDatabase& db_;
+  std::span<const Value> query_;
+  const Value eps_;
+  const dtw::QueryEnvelope* env_;
+  dtw::WarpingTable table_;
+  dtw::EnvelopeScratch lb_scratch_;
+  std::vector<suffixtree::OccurrenceRec> occ_buf_;
+  std::vector<Frame> frames_;
+  std::vector<suffixtree::Children> children_stack_;
+  std::vector<core::Match> answers_;
+  core::SearchStats stats_;
+};
+
+void BM_CategorizedSearchDriver(benchmark::State& state) {
+  const SearchFixture& fixture = SharedSearchFixture();
+  core::TreeSearchConfig config;
+  config.tree = &fixture.tree;
+  config.db = &fixture.db;
+  config.alphabet = &fixture.alphabet;
+  config.use_lower_bound = state.range(0) != 0;
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    const std::vector<core::Match> out =
+        core::TreeSearch(config, fixture.query, kSearchFixtureEps);
+    benchmark::DoNotOptimize(out.data());
+    answers = out.size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_CategorizedSearchDriver)->ArgName("lb")->Arg(0)->Arg(1);
+
+void BM_CategorizedInlinedDfs(benchmark::State& state) {
+  const SearchFixture& fixture = SharedSearchFixture();
+  const bool use_lb = state.range(0) != 0;
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    // The pre-refactor search built the envelope per query too.
+    std::optional<dtw::QueryEnvelope> env;
+    if (use_lb) env.emplace(fixture.query, /*band=*/0);
+    InlinedCategorizedDfs dfs(fixture, kSearchFixtureEps,
+                              env ? &*env : nullptr);
+    const std::vector<core::Match>& out = dfs.Run();
+    benchmark::DoNotOptimize(out.data());
+    answers = out.size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_CategorizedInlinedDfs)->ArgName("lb")->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace tswarp

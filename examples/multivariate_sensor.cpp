@@ -97,8 +97,8 @@ int main() {
   // 4. Search. The epsilon budget covers noise plus warping slack.
   const Value epsilon = 25.0;
   tswarp::core::SearchStats stats;
-  const std::vector<Match> matches =
-      index->Search(fault, fault_len, epsilon, &stats);
+  const std::vector<Match> matches = index->Search(
+      fault, fault_len, epsilon, tswarp::core::QueryOptions{}, &stats);
   std::printf("\nepsilon %.0f: %zu matching windows "
               "(%llu candidates verified)\n", epsilon, matches.size(),
               static_cast<unsigned long long>(stats.exact_dtw_calls));

@@ -1,0 +1,157 @@
+#ifndef TSWARP_CORE_DISTANCE_MODELS_H_
+#define TSWARP_CORE_DISTANCE_MODELS_H_
+
+#include <span>
+#include <vector>
+
+#include "categorize/alphabet.h"
+#include "common/types.h"
+#include "core/match.h"
+#include "dtw/base.h"
+#include "dtw/dtw.h"
+#include "dtw/envelope.h"
+#include "dtw/warping_table.h"
+#include "seqdb/sequence_database.h"
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::core {
+
+/// The three univariate distance models of the paper, plugged into
+/// core::SearchDriver (see search_driver.h for the concept):
+///
+///   SimSearch-ST     ExactModel           rows are exact D_tw
+///   SimSearch-ST_C   CategoryModel        D_tw-lb interval rows (Def. 3)
+///   SimSearch-SST_C  SparseCategoryModel  + D_tw-lb2 recovery  (Def. 4)
+///
+/// The multivariate grid-cell model (Section 8) lives with its index in
+/// src/multivariate.
+
+/// Exact symbol values (dictionary tree): every row is built from the
+/// decoded element value, so LastColumn() is already the exact D_tw and
+/// matches need no verification pass.
+class ExactModel {
+ public:
+  static constexpr bool kExactRows = true;
+
+  ExactModel(std::span<const Value> query,
+             const std::vector<Value>* symbol_values)
+      : query_(query), symbol_values_(symbol_values) {}
+
+  Value FirstRowLb(Symbol) const { return 0.0; }
+
+  void RowStep(dtw::WarpingTable* table, Symbol s) const {
+    const Value v = (*symbol_values_)[static_cast<std::size_t>(s)];
+    table->PushRowCustom([q = query_, v](std::size_t x) {
+      return dtw::BaseDistance(q[x], v);
+    });
+  }
+
+  // Never called: exact trees are dense and emit without verification.
+  Value OccurrenceFirstLb(const suffixtree::OccurrenceRec&) const {
+    return 0.0;
+  }
+  bool VerifyExact(SeqId, Pos, Pos, Value, SearchStats*, Value*) {
+    return false;
+  }
+
+ private:
+  std::span<const Value> query_;
+  const std::vector<Value>* symbol_values_;
+};
+
+/// Category intervals (D_tw-lb, Definition 3): rows are interval lower
+/// bounds, so every emission is a candidate verified against the raw
+/// sequences behind a cascade of ever-more-expensive screens — O(1)
+/// endpoints, O(len + |Q|) LB_Keogh/LB_Improved (when the envelope is
+/// active), then the O(|Q| len) exact kernel (itself abandoning early on
+/// the prefix lower bound). Every screen is a true lower bound, so no
+/// candidate within epsilon is ever dismissed.
+class CategoryModel {
+ public:
+  static constexpr bool kExactRows = false;
+
+  /// `envelope` may be null (cascade disabled, the ablation setting).
+  CategoryModel(std::span<const Value> query,
+                const categorize::Alphabet* alphabet,
+                const seqdb::SequenceDatabase* db,
+                const dtw::QueryEnvelope* envelope, Pos band)
+      : query_(query),
+        alphabet_(alphabet),
+        db_(db),
+        envelope_(envelope),
+        band_(band) {}
+
+  Value FirstRowLb(Symbol s) const {
+    const dtw::Interval iv = alphabet_->ToInterval(s);
+    return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
+  }
+
+  void RowStep(dtw::WarpingTable* table, Symbol s) const {
+    const dtw::Interval iv = alphabet_->ToInterval(s);
+    table->PushRowCustom([q = query_, iv](std::size_t x) {
+      return dtw::BaseDistanceLb(q[x], iv.lb, iv.ub);
+    });
+  }
+
+  Value OccurrenceFirstLb(const suffixtree::OccurrenceRec& occ) const {
+    // The leading symbol of the stored suffix is the path's first symbol;
+    // recompute from the raw value's category for robustness.
+    const Value v = db_->sequence(occ.seq)[occ.pos];
+    const dtw::Interval iv = alphabet_->ToInterval(alphabet_->ToSymbol(v));
+    return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
+  }
+
+  bool VerifyExact(SeqId seq, Pos start, Pos len, Value eps,
+                   SearchStats* stats, Value* distance) {
+    const std::span<const Value> sub = db_->Subsequence(seq, start, len);
+    // O(1) endpoint screen before the O(|Q| len) exact computation.
+    if (dtw::EndpointLowerBound(query_, sub) > eps) {
+      ++stats->endpoint_rejections;
+      return false;
+    }
+    if (envelope_ != nullptr) {
+      ++stats->lb_invocations;
+      if (dtw::LbImproved(*envelope_, query_, sub, eps, &lb_scratch_) > eps) {
+        ++stats->lb_pruned;
+        return false;
+      }
+    }
+    ++stats->exact_dtw_calls;
+    Value d = 0.0;
+    if (envelope_ != nullptr) {
+      if (!dtw::DtwWithinThresholdLb(query_, sub, *envelope_, eps, &d,
+                                     &lb_scratch_)) {
+        return false;
+      }
+    } else if (band_ != 0) {
+      d = dtw::DtwDistanceBanded(query_, sub, band_);
+      if (d > eps) return false;
+    } else if (!dtw::DtwWithinThreshold(query_, sub, eps, &d)) {
+      return false;
+    }
+    *distance = d;
+    return true;
+  }
+
+ private:
+  std::span<const Value> query_;
+  const categorize::Alphabet* alphabet_;
+  const seqdb::SequenceDatabase* db_;
+  const dtw::QueryEnvelope* envelope_;
+  Pos band_;
+  dtw::EnvelopeScratch lb_scratch_;  // Worker-private (models are copied).
+};
+
+/// Sparse categorized trees (D_tw-lb2, Definition 4): the per-row rule is
+/// CategoryModel's, and OccurrenceFirstLb feeds the driver's recovery of
+/// non-stored suffixes plus the (MaxRun-1) * FirstRowLb pruning discount.
+/// A distinct instantiation so the sparse search is its own kernel
+/// specialization, selected together with DriverConfig::sparse = true.
+class SparseCategoryModel : public CategoryModel {
+ public:
+  using CategoryModel::CategoryModel;
+};
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_DISTANCE_MODELS_H_

@@ -1,0 +1,472 @@
+#ifndef TSWARP_CORE_SEARCH_DRIVER_H_
+#define TSWARP_CORE_SEARCH_DRIVER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/match.h"
+#include "core/result_collector.h"
+#include "dtw/envelope.h"
+#include "dtw/warping_table.h"
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::core {
+
+/// The branch-and-bound DFS shared by every suffix-tree similarity search
+/// in the system. The paper's three algorithms (SimSearch-ST, -ST_C,
+/// -SST_C) and the Section 8 multivariate extension are one traversal with
+/// different per-row distance rules; SearchDriver<Model> is that traversal,
+/// and the rules live in a small *distance model*:
+///
+///   struct Model {
+///     /// Rows are exact distances: LastColumn() is already D_tw and
+///     /// matches are emitted without a verification pass. false for
+///     /// every lower-bound filter model.
+///     static constexpr bool kExactRows;
+///
+///     /// FirstRowLb: D_base-lb(Q[1], symbol) — the first-row lower bound
+///     /// fixed at the root branch (Definition 4). Feeds the sparse
+///     /// pruning discount (MaxRun-1) * FirstRowLb and the D_tw-lb2
+///     /// recovery of non-stored suffixes.
+///     Value FirstRowLb(Symbol s) const;
+///
+///     /// RowStep: appends the cumulative-table row for one edge symbol
+///     /// (exact base distances, category-interval D_tw-lb rows, or
+///     /// multivariate grid-cell bounds).
+///     void RowStep(dtw::WarpingTable* table, Symbol s) const;
+///
+///     /// SparseDiscount input for one occurrence: the first-symbol lower
+///     /// bound of the *stored* suffix at occ, recomputed from the raw
+///     /// data (D_tw-lb2, Definition 4). Only called when
+///     /// DriverConfig::sparse.
+///     Value OccurrenceFirstLb(const suffixtree::OccurrenceRec& occ) const;
+///
+///     /// VerifyExact: the exact verification cascade for one candidate
+///     /// subsequence (endpoint screen, envelope lower bounds, exact
+///     /// kernel). Returns true iff the candidate's exact distance is
+///     /// <= eps, setting *distance; bumps the cascade counters in
+///     /// *stats. Never called when kExactRows. Models carry their own
+///     /// scratch, so VerifyExact may be non-const; the driver copies the
+///     /// model prototype once per worker.
+///     bool VerifyExact(SeqId seq, Pos start, Pos len, Value eps,
+///                      SearchStats* stats, Value* distance);
+///   };
+///
+/// Four instantiations cover the repo: ExactModel (symbol values),
+/// CategoryModel (D_tw-lb intervals), SparseCategoryModel (D_tw-lb +
+/// D_tw-lb2 recovery), and the multivariate GridCellModel. One kernel
+/// means every capability — Theorem-1 pruning, the task-parallel engine,
+/// k-NN branch-and-bound, Sakoe-Chiba bands, the envelope cascade —
+/// reaches all of them at once.
+struct DriverConfig {
+  const suffixtree::TreeView* tree = nullptr;
+
+  /// Query length in elements (table width). For multivariate queries this
+  /// is the element count, not the flattened value count.
+  std::size_t query_length = 0;
+
+  /// Sparse tree (SST_C): discount the Theorem-1 bound by
+  /// (MaxRun-1) * FirstRowLb and recover non-stored suffixes via D_tw-lb2.
+  bool sparse = false;
+
+  /// Theorem-1 branch pruning; disable only for the R_p ablation.
+  bool prune = true;
+
+  /// Sakoe-Chiba band (0 = unconstrained, the paper's setting). Rejected
+  /// on sparse trees: the D_tw-lb2 shift argument does not hold once the
+  /// band moves with the dropped leading symbols.
+  Pos band = 0;
+
+  /// Worker threads for one search. 0 = fully serial (single-table DFS);
+  /// >= 1 decomposes the traversal into branch tasks executed on a
+  /// ThreadPool of that many workers. Results are identical to serial for
+  /// both range and k-NN searches (see docs/parallel_search.md).
+  std::size_t num_threads = 0;
+};
+
+/// Per-query shared state, owned for the query's whole lifetime: the
+/// shrinking threshold and result set (collector), the merged traversal
+/// stats, and the query envelope slot of the univariate lower-bound
+/// cascade. Models with a different envelope type (the multivariate
+/// per-dimension set) own theirs alongside the context. Worker arenas —
+/// the warping-table row pool, the lower-bound scratch, the traversal
+/// buffers — are created once per worker and reused across every branch
+/// task that worker executes, so the hot path performs no per-task
+/// allocations once warmed up.
+class QueryContext {
+ public:
+  QueryContext(Value epsilon, std::size_t knn_k)
+      : collector(epsilon, knn_k) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Query envelope of the univariate lower-bound cascade; non-null iff
+  /// the cascade is active for this search. Built once per query (it
+  /// depends only on (query, band)) and shared read-only by every worker.
+  std::unique_ptr<const dtw::QueryEnvelope> envelope;
+
+  ResultCollector collector;
+
+  std::mutex stats_mu;
+  SearchStats stats;  // Guarded by stats_mu; merged per worker at drain.
+};
+
+/// One unit of parallel work: process edge `edge_index` of `node` — push
+/// its label rows, emit candidates, prune — and, when `descend`, the whole
+/// subtree below it. `prefix` holds the symbols on the root-to-`node` path;
+/// a worker replays them into its private table (no emission: the rows were
+/// already evaluated by the task owning the ancestor edge) so depths, the
+/// Sakoe-Chiba band, and Theorem-1 pruning see the true distance table.
+struct BranchTask {
+  std::vector<Symbol> prefix;
+  suffixtree::NodeId node = 0;
+  std::uint32_t edge_index = 0;
+  bool descend = true;
+  /// D_base-lb(Q[1], first path symbol), fixed at the root branch
+  /// (Definition 4); only read when `prefix` is non-empty.
+  Value first_lb = 0.0;
+};
+
+template <typename Model>
+class SearchDriver {
+ public:
+  /// `config` and `model` must outlive the driver; `model` is the
+  /// prototype copied once per worker (copies carry the per-worker
+  /// verification scratch).
+  SearchDriver(const DriverConfig& config, const Model& model)
+      : config_(config), model_(model) {
+    TSW_CHECK(config.tree != nullptr);
+    TSW_CHECK(config.query_length > 0);
+    TSW_CHECK(!(config.sparse && config.band != 0))
+        << "banded search is unsupported on sparse indexes: the D_tw-lb2 "
+           "shift argument does not hold once the band moves with the "
+           "dropped leading symbols (build a dense index instead)";
+  }
+
+  /// Runs the search against `ctx` (freshly constructed for this query)
+  /// and returns the sorted answers; fills *stats when non-null.
+  std::vector<Match> Run(QueryContext* ctx, SearchStats* stats) {
+    if (config_.num_threads == 0) {
+      Worker worker(config_, model_, ctx);
+      worker.RunWholeTree();
+      worker.Drain();
+    } else {
+      const std::vector<BranchTask> tasks =
+          EnumerateTasks(/*target=*/config_.num_threads * 4);
+      ThreadPool pool(config_.num_threads);
+      std::atomic<std::size_t> next_task{0};
+      for (std::size_t w = 0; w < config_.num_threads; ++w) {
+        pool.Submit([this, ctx, &tasks, &next_task] {
+          Worker worker(config_, model_, ctx);
+          for (;;) {
+            const std::size_t i =
+                next_task.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size()) break;
+            worker.RunTask(tasks[i]);
+          }
+          worker.Drain();
+        });
+      }
+      pool.Wait();
+    }
+
+    std::vector<Match> answers = ctx->collector.Take();
+    ctx->stats.answers = answers.size();
+    if (stats != nullptr) *stats = ctx->stats;
+    return answers;
+  }
+
+ private:
+  using Children = suffixtree::Children;
+  using NodeId = suffixtree::NodeId;
+  using OccurrenceRec = suffixtree::OccurrenceRec;
+
+  /// Per-worker search state: a private cumulative table, reusable
+  /// traversal buffers, a private model copy (verification scratch),
+  /// private stats, and (range mode) a private answer vector that is
+  /// appended to the shared state once, when the worker drains. Serial
+  /// searches use one worker and therefore identical semantics.
+  class Worker {
+   public:
+    Worker(const DriverConfig& config, const Model& prototype,
+           QueryContext* ctx)
+        : config_(config),
+          model_(prototype),
+          ctx_(*ctx),
+          collector_(ctx->collector),
+          table_(config.query_length, config.band) {}
+
+    /// Serial entry point: the whole traversal from the root.
+    void RunWholeTree() {
+      RunSpan(config_.tree->Root(), /*first_lb=*/0.0, 0,
+              std::numeric_limits<std::size_t>::max(),
+              /*descend_bottom=*/true);
+    }
+
+    void RunTask(const BranchTask& task) {
+      table_.Reset();
+      for (const Symbol sym : task.prefix) {
+        model_.RowStep(&table_, sym);
+        ++stats_.replayed_rows;
+      }
+      RunSpan(task.node, task.first_lb, task.edge_index,
+              task.edge_index + 1, task.descend);
+    }
+
+    /// Publishes this worker's answers and stats into the shared state.
+    void Drain() {
+      stats_.cells_computed = table_.cells_computed();
+      collector_.DrainRange(&answers_);
+      std::lock_guard<std::mutex> lock(ctx_.stats_mu);
+      ctx_.stats.Merge(stats_);
+    }
+
+   private:
+    struct Frame {
+      NodeId node;
+      Value first_lb;          // Inherited branch first-symbol lower bound.
+      std::size_t edge = 0;    // Next edge index to process.
+      std::size_t pushed = 0;  // Rows pushed for the edge being descended.
+    };
+
+    Value Eps() const { return collector_.epsilon(); }
+
+    Children& ChildrenAt(std::size_t depth) {
+      if (children_stack_.size() <= depth) children_stack_.resize(depth + 1);
+      return children_stack_[depth];
+    }
+
+    void PushFrame(NodeId node, Value first_lb, std::size_t edge_lo) {
+      // A node's visit is attributed to the frame starting at its first
+      // edge, so nodes split across branch tasks are still counted once.
+      if (edge_lo == 0) ++stats_.nodes_visited;
+      frames_.push_back({node, first_lb, edge_lo, 0});
+      config_.tree->GetChildren(node, &ChildrenAt(frames_.size() - 1));
+    }
+
+    /// Iterative DFS: processes edges [edge_lo, edge_hi) of `start`
+    /// (descending below them only when `descend_bottom`); every deeper
+    /// node is traversed in full.
+    void RunSpan(NodeId start, Value first_lb, std::size_t edge_lo,
+                 std::size_t edge_hi, bool descend_bottom) {
+      frames_.clear();
+      PushFrame(start, first_lb, edge_lo);
+      while (!frames_.empty()) {
+        Frame& f = frames_.back();
+        Children& children = ChildrenAt(frames_.size() - 1);
+        const bool bottom = frames_.size() == 1;
+        const std::size_t limit =
+            bottom ? std::min(edge_hi, children.edges.size())
+                   : children.edges.size();
+        if (f.edge >= limit) {
+          frames_.pop_back();
+          if (!frames_.empty()) {
+            table_.PopRows(frames_.back().pushed);
+            frames_.back().pushed = 0;
+            ++frames_.back().edge;
+          }
+          continue;
+        }
+
+        const Children::Edge& edge = children.edges[f.edge];
+        const std::span<const Symbol> label = children.Label(edge);
+        const bool at_root = table_.Empty();
+        Value branch_first_lb = f.first_lb;
+        if (at_root) branch_first_lb = model_.FirstRowLb(label.front());
+        // The sparse pruning discount: a non-stored suffix under this
+        // branch may skip up to MaxRun-1 leading symbols, each worth at
+        // most first_lb of distance (Definition 4).
+        Value discount = 0.0;
+        if (config_.sparse) {
+          const Pos max_run = config_.tree->MaxRun(edge.child);
+          if (max_run > 1) {
+            discount = static_cast<Value>(max_run - 1) * branch_first_lb;
+          }
+        }
+
+        std::size_t pushed = 0;
+        bool descend = true;
+        // Occurrences below this edge are the same at every depth along
+        // it; collect them at most once per edge.
+        occ_buf_.clear();
+        bool occ_collected = false;
+        for (const Symbol sym : label) {
+          model_.RowStep(&table_, sym);
+          ++pushed;
+          ++stats_.rows_pushed;
+          stats_.unshared_rows += config_.tree->SubtreeOccCount(edge.child);
+          const Value dist = table_.LastColumn();
+          if (dist <= Eps() ||
+              (config_.sparse && dist - discount <= Eps())) {
+            if (!occ_collected) {
+              config_.tree->CollectSubtreeOccurrences(edge.child, &occ_buf_,
+                                                      &occ_scratch_);
+              occ_collected = true;
+            }
+            EmitCandidates(dist);
+          }
+          if (config_.prune && table_.RowMin() - discount > Eps()) {
+            // Theorem 1: no extension can recover. Skip the rest of this
+            // edge and the whole subtree.
+            ++stats_.branches_pruned;
+            descend = false;
+            break;
+          }
+        }
+        if (bottom && !descend_bottom) descend = false;
+        if (descend) {
+          f.pushed = pushed;
+          PushFrame(edge.child, branch_first_lb, 0);
+        } else {
+          table_.PopRows(pushed);
+          ++f.edge;
+        }
+      }
+    }
+
+    /// A prefix of depth NumRows() matched with filter distance `dist`:
+    /// expand the pre-collected subtree occurrences (occ_buf_) into
+    /// answers (exact-row models) or verified candidates (lower-bound
+    /// models).
+    void EmitCandidates(Value dist) {
+      const auto depth = static_cast<Pos>(table_.NumRows());
+      for (const OccurrenceRec& occ : occ_buf_) {
+        if constexpr (Model::kExactRows) {
+          if (dist <= Eps()) {
+            ++stats_.candidates;
+            Report({occ.seq, occ.pos, depth, dist});
+          }
+          continue;
+        } else {
+          // Stored suffix: subsequence S[occ.pos : occ.pos+depth-1].
+          if (dist <= Eps()) PostProcess(occ.seq, occ.pos, depth);
+          if (!config_.sparse) continue;
+          // Non-stored suffixes inside the leading run: skip delta
+          // symbols (D_tw-lb2, Definition 4).
+          const Value first_lb = model_.OccurrenceFirstLb(occ);
+          const Pos max_delta = std::min<Pos>(occ.run - 1, depth - 1);
+          for (Pos delta = 1; delta <= max_delta; ++delta) {
+            const Value lb2 = dtw::LowerBound2(dist, delta, first_lb);
+            if (lb2 <= Eps()) {
+              PostProcess(occ.seq, occ.pos + delta, depth - delta);
+            }
+          }
+        }
+      }
+    }
+
+    /// Exact verification of one candidate subsequence via the model's
+    /// cascade; reports the match when it is within the threshold.
+    void PostProcess(SeqId seq, Pos start, Pos len) {
+      ++stats_.candidates;
+      Value d = 0.0;
+      if (!model_.VerifyExact(seq, start, len, Eps(), &stats_, &d)) return;
+      Report({seq, start, len, d});
+    }
+
+    void Report(const Match& m) { collector_.Report(m, &answers_); }
+
+    const DriverConfig& config_;
+    Model model_;  // Worker-private copy: carries verification scratch.
+    QueryContext& ctx_;
+    ResultCollector& collector_;
+    dtw::WarpingTable table_;
+    std::vector<OccurrenceRec> occ_buf_;
+    suffixtree::SubtreeScratch occ_scratch_;
+    std::vector<Frame> frames_;
+    // Per-depth children buffers, reused across the whole traversal so
+    // the hot path performs no per-node allocations once warmed up.
+    std::vector<Children> children_stack_;
+    std::vector<Match> answers_;
+    SearchStats stats_;
+  };
+
+  /// Splits the traversal into branch tasks. Level 0 is one task per root
+  /// edge; while the task count is under `target` the shallowest subtree
+  /// tasks are split into an edge-only task plus one subtree task per
+  /// child edge (prefix extended by the split edge's label). Enumeration
+  /// only reads tree topology — no distance work happens here.
+  std::vector<BranchTask> EnumerateTasks(std::size_t target) const {
+    const suffixtree::TreeView& tree = *config_.tree;
+    Children children;
+    tree.GetChildren(tree.Root(), &children);
+    std::vector<BranchTask> tasks;
+    tasks.reserve(children.edges.size());
+    for (std::uint32_t i = 0; i < children.edges.size(); ++i) {
+      BranchTask t;
+      t.node = tree.Root();
+      t.edge_index = i;
+      t.first_lb = model_.FirstRowLb(children.FirstSymbol(children.edges[i]));
+      tasks.push_back(std::move(t));
+    }
+
+    constexpr int kMaxSplitDepth = 3;
+    Children child_children;
+    for (int depth = 0; depth < kMaxSplitDepth && tasks.size() < target;
+         ++depth) {
+      std::vector<BranchTask> next;
+      next.reserve(tasks.size() * 2);
+      bool split_any = false;
+      for (BranchTask& t : tasks) {
+        if (!t.descend) {
+          next.push_back(std::move(t));
+          continue;
+        }
+        tree.GetChildren(t.node, &children);
+        const Children::Edge& edge = children.edges[t.edge_index];
+        tree.GetChildren(edge.child, &child_children);
+        if (child_children.edges.empty()) {
+          next.push_back(std::move(t));
+          continue;
+        }
+        split_any = true;
+        std::vector<Symbol> child_prefix = t.prefix;
+        const std::span<const Symbol> label = children.Label(edge);
+        child_prefix.insert(child_prefix.end(), label.begin(), label.end());
+        for (std::uint32_t j = 0; j < child_children.edges.size(); ++j) {
+          BranchTask sub;
+          sub.prefix = child_prefix;
+          sub.node = edge.child;
+          sub.edge_index = j;
+          sub.first_lb = t.first_lb;
+          next.push_back(std::move(sub));
+        }
+        // The edge rows themselves (emission + pruning along the label)
+        // stay with the original task, which no longer descends.
+        t.descend = false;
+        next.push_back(std::move(t));
+      }
+      tasks = std::move(next);
+      if (!split_any) break;
+    }
+    return tasks;
+  }
+
+  const DriverConfig& config_;
+  const Model& model_;
+};
+
+/// Convenience wrapper: builds the per-query context (envelope slot left
+/// to the caller via `ctx`), runs the driver, and returns the sorted
+/// answers. `epsilon` is ignored when knn_k > 0 (the threshold starts at
+/// +infinity and shrinks to the k-th best distance).
+template <typename Model>
+std::vector<Match> RunSearchDriver(const DriverConfig& config,
+                                   const Model& model, QueryContext* ctx,
+                                   SearchStats* stats) {
+  return SearchDriver<Model>(config, model).Run(ctx, stats);
+}
+
+}  // namespace tswarp::core
+
+#endif  // TSWARP_CORE_SEARCH_DRIVER_H_

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "core/result_collector.h"
 #include "dtw/envelope.h"
 #include "dtw/warping_table.h"
 
@@ -13,18 +14,23 @@ std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
                            const SeqScanOptions& options, SearchStats* stats) {
   TSW_CHECK(!query.empty());
   SearchStats local;
-  std::vector<Match> out;
+  // The scan emits in (seq, start, len) ascending order — already the
+  // collector's range order — so Take()'s sort is the identity and the
+  // output is byte-identical to direct emission.
+  ResultCollector collector(epsilon, /*knn_k=*/0);
+  std::vector<Match> scratch;
   // Running LB_Keogh cascade: D_tw(Q, S[p:q]) >= sum of the elements'
   // envelope distances, and the sum only grows with q, so once it passes
   // epsilon every further extension of this suffix is out too — an O(1)
   // per-element cut ahead of the O(|Q|) row build + Theorem-1 test.
   std::optional<dtw::QueryEnvelope> env;
   if (options.use_lower_bound) env.emplace(query, options.band);
+  dtw::WarpingTable table(query, options.band);
   for (SeqId id = 0; id < db.size(); ++id) {
     const seqdb::Sequence& s = db.sequence(id);
     const auto n = static_cast<Pos>(s.size());
     for (Pos p = 0; p < n; ++p) {
-      dtw::WarpingTable table(query, options.band);
+      table.Reset();
       Value running_lb = 0.0;
       if (env.has_value()) ++local.lb_invocations;
       for (Pos q = p; q < n; ++q) {
@@ -38,18 +44,19 @@ std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
         table.PushRowValue(s[q]);
         ++local.rows_pushed;
         const Value dist = table.LastColumn();
-        if (dist <= epsilon) {
-          out.push_back({id, p, q - p + 1, dist});
-          ++local.answers;
-        }
+        if (dist <= epsilon) collector.Report({id, p, q - p + 1, dist},
+                                              &scratch);
         if (options.prune && table.RowMin() > epsilon) {
           ++local.branches_pruned;
           break;
         }
       }
-      local.cells_computed += table.cells_computed();
     }
   }
+  local.cells_computed = table.cells_computed();
+  collector.DrainRange(&scratch);
+  std::vector<Match> out = collector.Take();
+  local.answers = out.size();
   if (stats != nullptr) *stats = local;
   return out;
 }

@@ -1,35 +1,16 @@
 #include "core/tree_search.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cstddef>
-#include <limits>
 #include <memory>
-#include <mutex>
-#include <utility>
+#include <span>
+#include <vector>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
-#include "dtw/base.h"
-#include "dtw/dtw.h"
+#include "core/distance_models.h"
+#include "core/search_driver.h"
 #include "dtw/envelope.h"
-#include "dtw/warping_table.h"
 
 namespace tswarp::core {
 namespace {
-
-using suffixtree::Children;
-using suffixtree::NodeId;
-using suffixtree::OccurrenceRec;
-
-/// Total order used by k-NN branch-and-bound: primary key distance,
-/// deterministic (seq, start, len) tie-break. With this order the k best
-/// matches are a unique set, so serial and parallel searches agree even
-/// when ties straddle the k-th position.
-bool KnnLess(const Match& a, const Match& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return MatchLess(a, b);
-}
 
 void ValidateConfig(const TreeSearchConfig& config,
                     std::span<const Value> query) {
@@ -51,452 +32,47 @@ void ValidateConfig(const TreeSearchConfig& config,
   }
 }
 
-/// State shared by every worker of one search: the read-only configuration
-/// plus the two pieces of cross-worker coordination — the shrinking k-NN
-/// threshold (atomic; monotonically non-increasing, so a stale read only
-/// weakens pruning, never correctness) and the global result set
-/// (mutex-guarded). Serial searches use the same state with one worker and
-/// therefore identical semantics.
-struct SharedSearchState {
-  SharedSearchState(const TreeSearchConfig& config_in,
-                    std::span<const Value> query_in, Value epsilon_in,
-                    std::size_t knn_k_in)
-      : config(config_in),
-        query(query_in),
-        knn_k(knn_k_in),
-        epsilon(knn_k_in > 0 ? kInfinity : epsilon_in) {
-    // The envelope depends only on (query, band): build it once and share
-    // it read-only across workers. Exact mode has no post-processing, so
-    // no candidate ever consults it.
-    if (config_in.use_lower_bound && !config_in.exact) {
-      envelope = std::make_unique<dtw::QueryEnvelope>(query_in,
-                                                      config_in.band);
-    }
-  }
-
-  const TreeSearchConfig& config;
-  const std::span<const Value> query;
-  const std::size_t knn_k;
-
-  /// Query envelope of the lower-bound cascade; non-null iff the cascade
-  /// is active for this search.
-  std::unique_ptr<const dtw::QueryEnvelope> envelope;
-
-  /// Current pruning threshold. Fixed in range mode; in k-NN mode it
-  /// shrinks to the k-th best distance found so far.
-  std::atomic<Value> epsilon;
-
-  std::mutex mu;
-  /// Range mode: concatenated worker answers. k-NN mode: max-heap (by
-  /// KnnLess) of the current k best matches. Both guarded by `mu`.
-  std::vector<Match> answers;
-  SearchStats stats;
-};
-
-/// One unit of parallel work: process edge `edge_index` of `node` — push
-/// its label rows, emit candidates, prune — and, when `descend`, the whole
-/// subtree below it. `prefix` holds the symbols on the root-to-`node` path;
-/// a worker replays them into its private table (no emission: the rows were
-/// already evaluated by the task owning the ancestor edge) so depths, the
-/// Sakoe-Chiba band, and Theorem-1 pruning see the true distance table.
-struct BranchTask {
-  std::vector<Symbol> prefix;
-  NodeId node = 0;
-  std::uint32_t edge_index = 0;
-  bool descend = true;
-  /// D_base-lb(Q[1], first path symbol), fixed at the root branch
-  /// (Definition 4); only read when `prefix` is non-empty.
-  Value first_lb = 0.0;
-};
-
-/// Per-worker search state: a private cumulative table, reusable traversal
-/// buffers, private stats, and (range mode) a private answer vector that is
-/// appended to the shared state once, when the worker drains.
-class SearchWorker {
- public:
-  explicit SearchWorker(SharedSearchState* shared)
-      : shared_(*shared),
-        config_(shared->config),
-        query_(shared->query),
-        knn_k_(shared->knn_k),
-        table_(shared->query, shared->config.band) {}
-
-  /// Serial entry point: the whole traversal from the root.
-  void RunWholeTree() {
-    RunSpan(config_.tree->Root(), /*first_lb=*/0.0, 0,
-            std::numeric_limits<std::size_t>::max(), /*descend_bottom=*/true);
-  }
-
-  void RunTask(const BranchTask& task) {
-    table_.PopRows(table_.NumRows());
-    for (const Symbol sym : task.prefix) {
-      PushRow(sym);
-      ++stats_.replayed_rows;
-    }
-    RunSpan(task.node, task.first_lb, task.edge_index, task.edge_index + 1,
-            task.descend);
-  }
-
-  /// Publishes this worker's answers and stats into the shared state.
-  void Drain() {
-    stats_.cells_computed = table_.cells_computed();
-    std::lock_guard<std::mutex> lock(shared_.mu);
-    if (knn_k_ == 0) {
-      shared_.answers.insert(shared_.answers.end(), answers_.begin(),
-                             answers_.end());
-    }
-    shared_.stats.Merge(stats_);
-  }
-
- private:
-  struct Frame {
-    NodeId node;
-    Value first_lb;          // Inherited branch first-symbol lower bound.
-    std::size_t edge = 0;    // Next edge index to process.
-    std::size_t pushed = 0;  // Rows pushed for the edge being descended.
-  };
-
-  Value Eps() const {
-    return shared_.epsilon.load(std::memory_order_relaxed);
-  }
-
-  Children& ChildrenAt(std::size_t depth) {
-    if (children_stack_.size() <= depth) children_stack_.resize(depth + 1);
-    return children_stack_[depth];
-  }
-
-  void PushFrame(NodeId node, Value first_lb, std::size_t edge_lo) {
-    // A node's visit is attributed to the frame starting at its first
-    // edge, so nodes split across branch tasks are still counted once.
-    if (edge_lo == 0) ++stats_.nodes_visited;
-    frames_.push_back({node, first_lb, edge_lo, 0});
-    config_.tree->GetChildren(node, &ChildrenAt(frames_.size() - 1));
-  }
-
-  /// Iterative DFS replacing the old recursive Visit: processes edges
-  /// [edge_lo, edge_hi) of `start` (descending below them only when
-  /// `descend_bottom`); every deeper node is traversed in full. Operation
-  /// order matches the recursive version exactly.
-  void RunSpan(NodeId start, Value first_lb, std::size_t edge_lo,
-               std::size_t edge_hi, bool descend_bottom) {
-    frames_.clear();
-    PushFrame(start, first_lb, edge_lo);
-    while (!frames_.empty()) {
-      Frame& f = frames_.back();
-      Children& children = ChildrenAt(frames_.size() - 1);
-      const bool bottom = frames_.size() == 1;
-      const std::size_t limit =
-          bottom ? std::min(edge_hi, children.edges.size())
-                 : children.edges.size();
-      if (f.edge >= limit) {
-        frames_.pop_back();
-        if (!frames_.empty()) {
-          table_.PopRows(frames_.back().pushed);
-          frames_.back().pushed = 0;
-          ++frames_.back().edge;
-        }
-        continue;
-      }
-
-      const Children::Edge& edge = children.edges[f.edge];
-      const std::span<const Symbol> label = children.Label(edge);
-      const bool at_root = table_.Empty();
-      Value branch_first_lb = f.first_lb;
-      if (at_root) branch_first_lb = FirstSymbolLb(label.front());
-      // The sparse pruning discount: a non-stored suffix under this branch
-      // may skip up to MaxRun-1 leading symbols, each worth at most
-      // first_lb of distance (Definition 4).
-      Value discount = 0.0;
-      if (config_.sparse) {
-        const Pos max_run = config_.tree->MaxRun(edge.child);
-        if (max_run > 1) {
-          discount = static_cast<Value>(max_run - 1) * branch_first_lb;
-        }
-      }
-
-      std::size_t pushed = 0;
-      bool descend = true;
-      // Occurrences below this edge are the same at every depth along it;
-      // collect them at most once per edge.
-      occ_buf_.clear();
-      bool occ_collected = false;
-      for (const Symbol sym : label) {
-        PushRow(sym);
-        ++pushed;
-        ++stats_.rows_pushed;
-        stats_.unshared_rows += config_.tree->SubtreeOccCount(edge.child);
-        const Value dist = table_.LastColumn();
-        if (dist <= Eps() ||
-            (config_.sparse && dist - discount <= Eps())) {
-          if (!occ_collected) {
-            config_.tree->CollectSubtreeOccurrences(edge.child, &occ_buf_);
-            occ_collected = true;
-          }
-          EmitCandidates(dist);
-        }
-        if (config_.prune && table_.RowMin() - discount > Eps()) {
-          // Theorem 1: no extension can recover. Skip the rest of this
-          // edge and the whole subtree.
-          ++stats_.branches_pruned;
-          descend = false;
-          break;
-        }
-      }
-      if (bottom && !descend_bottom) descend = false;
-      if (descend) {
-        f.pushed = pushed;
-        PushFrame(edge.child, branch_first_lb, 0);
-      } else {
-        table_.PopRows(pushed);
-        ++f.edge;
-      }
-    }
-  }
-
-  Value FirstSymbolLb(Symbol s) const {
-    if (config_.exact) return 0.0;
-    const dtw::Interval iv = config_.alphabet->ToInterval(s);
-    return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
-  }
-
-  void PushRow(Symbol sym) {
-    if (config_.exact) {
-      table_.PushRowValue((*config_.symbol_values)[static_cast<size_t>(sym)]);
-    } else {
-      const dtw::Interval iv = config_.alphabet->ToInterval(sym);
-      table_.PushRowInterval(iv.lb, iv.ub);
-    }
-  }
-
-  /// A prefix of depth NumRows() matched with filter distance `dist`:
-  /// expand the pre-collected subtree occurrences (occ_buf_) into answers
-  /// (exact mode) or post-processed candidates (lower-bound modes).
-  void EmitCandidates(Value dist) {
-    const auto depth = static_cast<Pos>(table_.NumRows());
-    for (const OccurrenceRec& occ : occ_buf_) {
-      if (config_.exact) {
-        if (dist <= Eps()) {
-          ++stats_.candidates;
-          Report({occ.seq, occ.pos, depth, dist});
-        }
-        continue;
-      }
-      // Stored suffix: subsequence S[occ.pos : occ.pos+depth-1].
-      if (dist <= Eps()) PostProcess(occ.seq, occ.pos, depth);
-      if (!config_.sparse) continue;
-      // Non-stored suffixes inside the leading run: skip delta symbols.
-      const Value first_lb = FirstLbForOccurrence(occ);
-      const Pos max_delta = std::min<Pos>(occ.run - 1, depth - 1);
-      for (Pos delta = 1; delta <= max_delta; ++delta) {
-        const Value lb2 = dtw::LowerBound2(dist, delta, first_lb);
-        if (lb2 <= Eps()) {
-          PostProcess(occ.seq, occ.pos + delta, depth - delta);
-        }
-      }
-    }
-  }
-
-  Value FirstLbForOccurrence(const OccurrenceRec& occ) const {
-    // The leading symbol of the stored suffix is the path's first symbol;
-    // recompute from the raw value's category for robustness.
-    if (config_.alphabet == nullptr) return 0.0;
-    const Value v = config_.db->sequence(occ.seq)[occ.pos];
-    const dtw::Interval iv =
-        config_.alphabet->ToInterval(config_.alphabet->ToSymbol(v));
-    return dtw::BaseDistanceLb(query_.front(), iv.lb, iv.ub);
-  }
-
-  /// Exact verification of one candidate subsequence, behind a cascade of
-  /// ever-more-expensive screens: O(1) endpoints, O(len) LB_Keogh +
-  /// O(len + |Q|) LB_Improved, then the O(|Q| len) exact kernel (itself
-  /// abandoning early on the prefix lower bound). Every screen is a true
-  /// lower bound, so no candidate within epsilon is ever dismissed.
-  void PostProcess(SeqId seq, Pos start, Pos len) {
-    ++stats_.candidates;
-    const std::span<const Value> sub = config_.db->Subsequence(seq, start,
-                                                               len);
-    const Value eps = Eps();
-    // O(1) endpoint screen before the O(|Q| len) exact computation.
-    if (dtw::EndpointLowerBound(query_, sub) > eps) {
-      ++stats_.endpoint_rejections;
-      return;
-    }
-    const dtw::QueryEnvelope* env = shared_.envelope.get();
-    if (env != nullptr) {
-      ++stats_.lb_invocations;
-      if (dtw::LbImproved(*env, query_, sub, eps, &lb_scratch_) > eps) {
-        ++stats_.lb_pruned;
-        return;
-      }
-    }
-    ++stats_.exact_dtw_calls;
-    Value d = 0.0;
-    if (env != nullptr) {
-      if (!dtw::DtwWithinThresholdLb(query_, sub, *env, eps, &d,
-                                     &lb_scratch_)) {
-        return;
-      }
-    } else if (config_.band != 0) {
-      d = dtw::DtwDistanceBanded(query_, sub, config_.band);
-      if (d > eps) return;
-    } else if (!dtw::DtwWithinThreshold(query_, sub, eps, &d)) {
-      return;
-    }
-    Report({seq, start, len, d});
-  }
-
-  /// Records an exact match. Range mode appends to the worker-private
-  /// vector; k-NN mode inserts into the shared k-best heap (ordered by
-  /// KnnLess) and shrinks the shared threshold to the k-th best distance.
-  void Report(const Match& m) {
-    if (knn_k_ == 0) {
-      answers_.push_back(m);
-      return;
-    }
-    auto worse = [](const Match& a, const Match& b) {
-      return KnnLess(a, b);  // Max-heap under the k-NN total order.
-    };
-    std::lock_guard<std::mutex> lock(shared_.mu);
-    std::vector<Match>& heap = shared_.answers;
-    if (heap.size() < knn_k_) {
-      heap.push_back(m);
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (KnnLess(m, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = m;
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else {
-      return;
-    }
-    if (heap.size() == knn_k_) {
-      shared_.epsilon.store(heap.front().distance,
-                            std::memory_order_relaxed);
-    }
-  }
-
-  SharedSearchState& shared_;
-  const TreeSearchConfig& config_;
-  std::span<const Value> query_;
-  const std::size_t knn_k_;
-  dtw::WarpingTable table_;
-  dtw::EnvelopeScratch lb_scratch_;
-  std::vector<OccurrenceRec> occ_buf_;
-  std::vector<Frame> frames_;
-  // Per-depth children buffers, reused across the whole traversal so the
-  // hot path performs no per-node allocations once warmed up.
-  std::vector<Children> children_stack_;
-  std::vector<Match> answers_;
-  SearchStats stats_;
-};
-
-/// Splits the traversal into branch tasks. Level 0 is one task per root
-/// edge; while the task count is under `target` the shallowest subtree
-/// tasks are split into an edge-only task plus one subtree task per child
-/// edge (prefix extended by the split edge's label). Enumeration only
-/// reads tree topology — no distance work happens here.
-std::vector<BranchTask> EnumerateTasks(const TreeSearchConfig& config,
-                                       std::span<const Value> query,
-                                       std::size_t target) {
-  const suffixtree::TreeView& tree = *config.tree;
-  auto first_symbol_lb = [&](Symbol s) -> Value {
-    if (config.exact) return 0.0;
-    const dtw::Interval iv = config.alphabet->ToInterval(s);
-    return dtw::BaseDistanceLb(query.front(), iv.lb, iv.ub);
-  };
-
-  Children children;
-  tree.GetChildren(tree.Root(), &children);
-  std::vector<BranchTask> tasks;
-  tasks.reserve(children.edges.size());
-  for (std::uint32_t i = 0; i < children.edges.size(); ++i) {
-    BranchTask t;
-    t.node = tree.Root();
-    t.edge_index = i;
-    t.first_lb = first_symbol_lb(children.FirstSymbol(children.edges[i]));
-    tasks.push_back(std::move(t));
-  }
-
-  constexpr int kMaxSplitDepth = 3;
-  Children child_children;
-  for (int depth = 0; depth < kMaxSplitDepth && tasks.size() < target;
-       ++depth) {
-    std::vector<BranchTask> next;
-    next.reserve(tasks.size() * 2);
-    bool split_any = false;
-    for (BranchTask& t : tasks) {
-      if (!t.descend) {
-        next.push_back(std::move(t));
-        continue;
-      }
-      tree.GetChildren(t.node, &children);
-      const Children::Edge& edge = children.edges[t.edge_index];
-      tree.GetChildren(edge.child, &child_children);
-      if (child_children.edges.empty()) {
-        next.push_back(std::move(t));
-        continue;
-      }
-      split_any = true;
-      std::vector<Symbol> child_prefix = t.prefix;
-      const std::span<const Symbol> label = children.Label(edge);
-      child_prefix.insert(child_prefix.end(), label.begin(), label.end());
-      for (std::uint32_t j = 0; j < child_children.edges.size(); ++j) {
-        BranchTask sub;
-        sub.prefix = child_prefix;
-        sub.node = edge.child;
-        sub.edge_index = j;
-        sub.first_lb = t.first_lb;
-        next.push_back(std::move(sub));
-      }
-      // The edge rows themselves (emission + pruning along the label)
-      // stay with the original task, which no longer descends.
-      t.descend = false;
-      next.push_back(std::move(t));
-    }
-    tasks = std::move(next);
-    if (!split_any) break;
-  }
-  return tasks;
+DriverConfig MakeDriverConfig(const TreeSearchConfig& config,
+                              std::span<const Value> query) {
+  DriverConfig driver;
+  driver.tree = config.tree;
+  driver.query_length = query.size();
+  driver.sparse = config.sparse;
+  driver.prune = config.prune;
+  driver.band = config.band;
+  driver.num_threads = config.num_threads;
+  return driver;
 }
 
+/// Instantiates the right distance model for `config` and runs the shared
+/// DFS kernel on it (see search_driver.h). The three paper modes map to
+/// the three univariate models of distance_models.h.
 std::vector<Match> RunSearch(const TreeSearchConfig& config,
                              std::span<const Value> query, Value epsilon,
                              std::size_t knn_k, SearchStats* stats) {
   ValidateConfig(config, query);
-  SharedSearchState shared(config, query, epsilon, knn_k);
+  const DriverConfig driver = MakeDriverConfig(config, query);
+  QueryContext ctx(epsilon, knn_k);
 
-  if (config.num_threads == 0) {
-    SearchWorker worker(&shared);
-    worker.RunWholeTree();
-    worker.Drain();
-  } else {
-    const std::vector<BranchTask> tasks =
-        EnumerateTasks(config, query, /*target=*/config.num_threads * 4);
-    ThreadPool pool(config.num_threads);
-    std::atomic<std::size_t> next_task{0};
-    for (std::size_t w = 0; w < config.num_threads; ++w) {
-      pool.Submit([&shared, &tasks, &next_task] {
-        SearchWorker worker(&shared);
-        for (;;) {
-          const std::size_t i =
-              next_task.fetch_add(1, std::memory_order_relaxed);
-          if (i >= tasks.size()) break;
-          worker.RunTask(tasks[i]);
-        }
-        worker.Drain();
-      });
-    }
-    pool.Wait();
+  if (config.exact) {
+    const ExactModel model(query, config.symbol_values);
+    return RunSearchDriver(driver, model, &ctx, stats);
   }
-
-  std::vector<Match> answers = std::move(shared.answers);
-  if (knn_k > 0) {
-    std::sort(answers.begin(), answers.end(), KnnLess);
-  } else {
-    std::sort(answers.begin(), answers.end(), MatchLess);
+  // The envelope depends only on (query, band): build it once and share
+  // it read-only across workers. Exact mode has no post-processing, so
+  // no candidate ever consults it.
+  if (config.use_lower_bound) {
+    ctx.envelope =
+        std::make_unique<dtw::QueryEnvelope>(query, config.band);
   }
-  shared.stats.answers = answers.size();
-  if (stats != nullptr) *stats = shared.stats;
-  return answers;
+  if (config.sparse) {
+    const SparseCategoryModel model(query, config.alphabet, config.db,
+                                    ctx.envelope.get(), config.band);
+    return RunSearchDriver(driver, model, &ctx, stats);
+  }
+  const CategoryModel model(query, config.alphabet, config.db,
+                            ctx.envelope.get(), config.band);
+  return RunSearchDriver(driver, model, &ctx, stats);
 }
 
 }  // namespace

@@ -94,6 +94,15 @@ class WarpingTable {
     num_rows_ -= n;
   }
 
+  /// Removes every row, keeping the allocated capacity and the
+  /// cells_computed() accumulator. Lets one table serve many independent
+  /// traversals (scan starts, parallel branch tasks) without re-allocating
+  /// or losing the cost accounting.
+  void Reset() {
+    cells_.clear();
+    num_rows_ = 0;
+  }
+
   /// Number of data rows currently in the table.
   std::size_t NumRows() const { return num_rows_; }
 

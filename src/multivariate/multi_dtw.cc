@@ -18,10 +18,10 @@ namespace {
 
 bool RunTable(std::span<const Value> a, std::size_t a_len,
               std::span<const Value> b, std::size_t b_len, std::size_t dim,
-              Value epsilon, bool thresholded, Value* distance) {
+              Value epsilon, bool thresholded, Value* distance, Pos band) {
   TSW_CHECK(a_len > 0 && b_len > 0);
   TSW_CHECK(a.size() == a_len * dim && b.size() == b_len * dim);
-  dtw::WarpingTable table(a_len, /*band=*/0);
+  dtw::WarpingTable table(a_len, band);
   for (std::size_t y = 0; y < b_len; ++y) {
     const Value* elem = b.data() + y * dim;
     table.PushRowCustom([&](std::size_t x) {
@@ -41,18 +41,18 @@ bool RunTable(std::span<const Value> a, std::size_t a_len,
 
 Value MultiDtwDistance(std::span<const Value> a, std::size_t a_len,
                        std::span<const Value> b, std::size_t b_len,
-                       std::size_t dim) {
+                       std::size_t dim, Pos band) {
   Value d = 0.0;
-  RunTable(a, a_len, b, b_len, dim, 0.0, /*thresholded=*/false, &d);
+  RunTable(a, a_len, b, b_len, dim, 0.0, /*thresholded=*/false, &d, band);
   return d;
 }
 
 bool MultiDtwWithinThreshold(std::span<const Value> a, std::size_t a_len,
                              std::span<const Value> b, std::size_t b_len,
-                             std::size_t dim, Value epsilon,
-                             Value* distance) {
+                             std::size_t dim, Value epsilon, Value* distance,
+                             Pos band) {
   return RunTable(a, a_len, b, b_len, dim, epsilon, /*thresholded=*/true,
-                  distance);
+                  distance, band);
 }
 
 }  // namespace tswarp::mv

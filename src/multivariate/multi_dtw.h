@@ -14,15 +14,18 @@ Value MultiBaseDistance(std::span<const Value> a, std::span<const Value> b);
 
 /// Exact multivariate time warping distance between flattened sequences
 /// `a` (a_len elements) and `b` (b_len elements), each element `dim` wide.
+/// `band` is an optional Sakoe-Chiba constraint (0 = unconstrained, the
+/// paper's setting).
 Value MultiDtwDistance(std::span<const Value> a, std::size_t a_len,
                        std::span<const Value> b, std::size_t b_len,
-                       std::size_t dim);
+                       std::size_t dim, Pos band = 0);
 
-/// Thresholded variant with Theorem-1 early abandon; true iff the distance
-/// is <= epsilon (then *distance is set).
+/// Thresholded variant with Theorem-1 early abandon; true iff the (banded)
+/// distance is <= epsilon (then *distance is set).
 bool MultiDtwWithinThreshold(std::span<const Value> a, std::size_t a_len,
                              std::span<const Value> b, std::size_t b_len,
-                             std::size_t dim, Value epsilon, Value* distance);
+                             std::size_t dim, Value epsilon, Value* distance,
+                             Pos band = 0);
 
 }  // namespace tswarp::mv
 

@@ -1,0 +1,69 @@
+#ifndef TSWARP_MULTIVARIATE_MULTI_ENVELOPE_H_
+#define TSWARP_MULTIVARIATE_MULTI_ENVELOPE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "dtw/envelope.h"
+
+namespace tswarp::mv {
+
+/// Per-dimension envelope set of a multivariate query: one univariate
+/// QueryEnvelope over each dimension's projection Q_d.
+///
+/// Because the multivariate base distance is the city-block sum over
+/// dimensions, any warping path P satisfies
+///
+///   cost_mv(P) = sum_d cost_d(P)  >=  sum_d min_P' cost_d(P')
+///              = sum_d D_tw(Q_d, S_d),
+///
+/// so the sum over dimensions of any univariate lower bound on
+/// D_tw(Q_d, S_d) — LB_Keogh, LB_Improved — lower-bounds the multivariate
+/// D_tw(Q, S). The argument restricts paths identically under a
+/// Sakoe-Chiba band, so the cascade stays valid banded.
+class MultiQueryEnvelope {
+ public:
+  /// `query` is the flattened query (query_len elements, `dim` wide);
+  /// copied per dimension, so it need not outlive the envelope.
+  MultiQueryEnvelope(std::span<const Value> query, std::size_t query_len,
+                     std::size_t dim, Pos band);
+
+  std::size_t dim() const { return dims_.size(); }
+  Pos band() const { return band_; }
+
+  const dtw::QueryEnvelope& envelope(std::size_t d) const {
+    return dims_[d].envelope;
+  }
+  std::span<const Value> query_dim(std::size_t d) const {
+    return dims_[d].query;
+  }
+
+ private:
+  struct Dimension {
+    std::vector<Value> query;  // Projection Q_d; owns the envelope's span.
+    dtw::QueryEnvelope envelope;
+  };
+
+  Pos band_;
+  std::vector<Dimension> dims_;
+};
+
+/// Reusable buffers for MultiLbImproved.
+struct MultiEnvelopeScratch {
+  std::vector<Value> candidate_dim;  // One dimension's projection of S.
+  dtw::EnvelopeScratch env_scratch;
+};
+
+/// Sum over dimensions of LB_Improved(Q_d, S_d): a lower bound on the
+/// multivariate D_tw (see MultiQueryEnvelope). `candidate` is the
+/// flattened subsequence (`len` elements). Abandons once the partial sum
+/// exceeds `abandon_above`; the partial sum returned is still a valid
+/// lower bound (per-dimension terms are non-negative).
+Value MultiLbImproved(const MultiQueryEnvelope& env,
+                      std::span<const Value> candidate, std::size_t len,
+                      Value abandon_above, MultiEnvelopeScratch* scratch);
+
+}  // namespace tswarp::mv
+
+#endif  // TSWARP_MULTIVARIATE_MULTI_ENVELOPE_H_

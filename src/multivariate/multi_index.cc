@@ -1,11 +1,14 @@
 #include "multivariate/multi_index.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
-#include "dtw/base.h"
+#include "core/search_driver.h"
 #include "dtw/warping_table.h"
+#include "multivariate/grid_model.h"
 #include "multivariate/multi_dtw.h"
+#include "multivariate/multi_envelope.h"
 
 namespace tswarp::mv {
 namespace {
@@ -13,139 +16,41 @@ namespace {
 using core::Match;
 using core::MatchLess;
 using core::SearchStats;
-using suffixtree::Children;
-using suffixtree::NodeId;
-using suffixtree::OccurrenceRec;
 
-/// Multivariate analogue of the core tree searcher: lower-bound filtering
-/// via grid cells, D_tw-lb2 recovery of sparse non-stored suffixes, exact
-/// multivariate-DTW post-processing.
-class MvSearcher {
- public:
-  MvSearcher(const MultiSequenceDatabase& db, const GridAlphabet& grid,
-             const suffixtree::TreeView& tree, bool sparse,
-             std::span<const Value> query, std::size_t query_len,
-             Value epsilon)
-      : db_(db), grid_(grid), tree_(tree), sparse_(sparse), query_(query),
-        query_len_(query_len), epsilon_(epsilon),
-        table_(query_len, /*band=*/0) {
-    TSW_CHECK(query_len > 0 && query.size() == query_len * db.dim());
+/// Shared body of Search / SearchKnn: instantiate the grid-cell model and
+/// run the common DFS kernel (core::SearchDriver). The per-dimension
+/// envelope set lives here for the query's duration, mirroring
+/// QueryContext's univariate envelope slot.
+std::vector<Match> RunDriver(const MultiSequenceDatabase& db,
+                             const GridAlphabet& grid,
+                             const suffixtree::TreeView& tree, bool sparse,
+                             std::span<const Value> query,
+                             std::size_t query_len, Value epsilon,
+                             std::size_t knn_k,
+                             const core::QueryOptions& options,
+                             SearchStats* stats) {
+  TSW_CHECK(query_len > 0 && query.size() == query_len * db.dim());
+  TSW_CHECK(options.band <= query_len)
+      << "band wider than the query has no effect and is almost certainly "
+         "a misconfiguration";
+
+  core::DriverConfig driver;
+  driver.tree = &tree;
+  driver.query_length = query_len;
+  driver.sparse = sparse;
+  driver.prune = options.prune;
+  driver.band = options.band;
+  driver.num_threads = options.num_threads;
+
+  core::QueryContext ctx(epsilon, knn_k);
+  std::optional<MultiQueryEnvelope> envelope;
+  if (options.use_lower_bound) {
+    envelope.emplace(query, query_len, db.dim(), options.band);
   }
-
-  std::vector<Match> Run(SearchStats* stats) {
-    Visit(tree_.Root(), 0.0);
-    std::sort(answers_.begin(), answers_.end(), MatchLess);
-    stats_.answers = answers_.size();
-    stats_.cells_computed = table_.cells_computed();
-    if (stats != nullptr) *stats = stats_;
-    return answers_;
-  }
-
- private:
-  std::span<const Value> QueryElement(std::size_t x) const {
-    return std::span<const Value>(query_.data() + x * db_.dim(), db_.dim());
-  }
-
-  void Visit(NodeId node, Value first_lb) {
-    ++stats_.nodes_visited;
-    Children children;
-    tree_.GetChildren(node, &children);
-    const bool at_root = table_.Empty();
-    for (const Children::Edge& edge : children.edges) {
-      const std::span<const Symbol> label = children.Label(edge);
-      Value branch_first_lb = first_lb;
-      if (at_root) {
-        branch_first_lb = grid_.CellLowerBound(QueryElement(0), label.front());
-      }
-      Value discount = 0.0;
-      if (sparse_) {
-        const Pos max_run = tree_.MaxRun(edge.child);
-        if (max_run > 1) {
-          discount = static_cast<Value>(max_run - 1) * branch_first_lb;
-        }
-      }
-      std::size_t pushed = 0;
-      bool descend = true;
-      occ_buf_.clear();
-      bool occ_collected = false;
-      for (const Symbol sym : label) {
-        table_.PushRowCustom([this, sym](std::size_t x) {
-          return grid_.CellLowerBound(QueryElement(x), sym);
-        });
-        ++pushed;
-        ++stats_.rows_pushed;
-        const Value dist = table_.LastColumn();
-        if (dist <= epsilon_ || (sparse_ && dist - discount <= epsilon_)) {
-          if (!occ_collected) {
-            tree_.CollectSubtreeOccurrences(edge.child, &occ_buf_);
-            occ_collected = true;
-          }
-          EmitCandidates(dist);
-        }
-        if (table_.RowMin() - discount > epsilon_) {
-          ++stats_.branches_pruned;
-          descend = false;
-          break;
-        }
-      }
-      if (descend) Visit(edge.child, branch_first_lb);
-      table_.PopRows(pushed);
-    }
-  }
-
-  void EmitCandidates(Value dist) {
-    const auto depth = static_cast<Pos>(table_.NumRows());
-    for (const OccurrenceRec& occ : occ_buf_) {
-      if (dist <= epsilon_) PostProcess(occ.seq, occ.pos, depth);
-      if (!sparse_) continue;
-      const Symbol first_cell =
-          grid_.ToSymbol(std::span<const Value>(db_.Element(occ.seq,
-                                                            occ.pos)));
-      const Value first_lb = grid_.CellLowerBound(QueryElement(0), first_cell);
-      const Pos max_delta = std::min<Pos>(occ.run - 1, depth - 1);
-      for (Pos delta = 1; delta <= max_delta; ++delta) {
-        if (dtw::LowerBound2(dist, delta, first_lb) <= epsilon_) {
-          PostProcess(occ.seq, occ.pos + delta, depth - delta);
-        }
-      }
-    }
-  }
-
-  void PostProcess(SeqId seq, Pos start, Pos len) {
-    ++stats_.candidates;
-    // O(dim) endpoint screen (first and last elements must align).
-    const Value first = MultiBaseDistance(QueryElement(0),
-                                          db_.Element(seq, start));
-    Value endpoint_lb = first;
-    if (query_len_ > 1 || len > 1) {
-      endpoint_lb += MultiBaseDistance(QueryElement(query_len_ - 1),
-                                       db_.Element(seq, start + len - 1));
-    }
-    if (endpoint_lb > epsilon_) {
-      ++stats_.endpoint_rejections;
-      return;
-    }
-    ++stats_.exact_dtw_calls;
-    Value d = 0.0;
-    if (MultiDtwWithinThreshold(query_, query_len_,
-                                db_.Slice(seq, start, len), len, db_.dim(),
-                                epsilon_, &d)) {
-      answers_.push_back({seq, start, len, d});
-    }
-  }
-
-  const MultiSequenceDatabase& db_;
-  const GridAlphabet& grid_;
-  const suffixtree::TreeView& tree_;
-  bool sparse_;
-  std::span<const Value> query_;
-  std::size_t query_len_;
-  Value epsilon_;
-  dtw::WarpingTable table_;
-  std::vector<OccurrenceRec> occ_buf_;
-  std::vector<Match> answers_;
-  SearchStats stats_;
-};
+  const GridCellModel model(&db, &grid, query, query_len,
+                            envelope ? &*envelope : nullptr, options.band);
+  return core::RunSearchDriver(driver, model, &ctx, stats);
+}
 
 }  // namespace
 
@@ -173,21 +78,34 @@ StatusOr<MultiIndex> MultiIndex::Build(const MultiSequenceDatabase* db,
 
 std::vector<Match> MultiIndex::Search(std::span<const Value> query,
                                       std::size_t query_len, Value epsilon,
+                                      const core::QueryOptions& query_options,
                                       SearchStats* stats) const {
-  MvSearcher searcher(*db_, *grid_, *tree_, options_.sparse, query,
-                      query_len, epsilon);
-  return searcher.Run(stats);
+  return RunDriver(*db_, *grid_, *tree_, options_.sparse, query, query_len,
+                   epsilon, /*knn_k=*/0, query_options, stats);
+}
+
+std::vector<Match> MultiIndex::SearchKnn(
+    std::span<const Value> query, std::size_t query_len, std::size_t k,
+    const core::QueryOptions& query_options, SearchStats* stats) const {
+  if (k == 0) {
+    if (stats != nullptr) *stats = SearchStats{};
+    return {};
+  }
+  return RunDriver(*db_, *grid_, *tree_, options_.sparse, query, query_len,
+                   /*epsilon=*/0.0, k, query_options, stats);
 }
 
 std::vector<Match> MultiSeqScan(const MultiSequenceDatabase& db,
                                 std::span<const Value> query,
-                                std::size_t query_len, Value epsilon) {
+                                std::size_t query_len, Value epsilon,
+                                Pos band) {
   TSW_CHECK(query_len > 0 && query.size() == query_len * db.dim());
   std::vector<Match> out;
+  dtw::WarpingTable table(query_len, band);
   for (SeqId id = 0; id < db.size(); ++id) {
     const Pos n = db.Length(id);
     for (Pos p = 0; p < n; ++p) {
-      dtw::WarpingTable table(query_len, /*band=*/0);
+      table.Reset();
       for (Pos q = p; q < n; ++q) {
         const std::span<const Value> elem = db.Element(id, q);
         table.PushRowCustom([&](std::size_t x) {

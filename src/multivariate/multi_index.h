@@ -8,6 +8,7 @@
 #include "categorize/categorizer.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/index.h"
 #include "core/match.h"
 #include "multivariate/grid_alphabet.h"
 #include "multivariate/multi_database.h"
@@ -26,8 +27,13 @@ struct MultiIndexOptions {
 
 /// Multivariate subsequence index (paper Section 8): elements are
 /// categorized into grid cells, a (sparse) suffix tree is built over the
-/// cell symbols, and queries are filtered with the grid cell lower bound
-/// before exact multivariate-DTW post-processing. No false dismissals.
+/// cell symbols, and queries run on core::SearchDriver with the
+/// GridCellModel — grid-cell lower-bound filtering, then exact
+/// multivariate-DTW post-processing behind the per-dimension envelope
+/// cascade. No false dismissals. Searches take the same core::QueryOptions
+/// as the univariate Index (band, pruning/lower-bound ablations,
+/// num_threads), with identical semantics: parallel results are
+/// bit-identical to serial, and bands are rejected on sparse indexes.
 class MultiIndex {
  public:
   /// `db` must outlive the index.
@@ -38,10 +44,20 @@ class MultiIndex {
   /// (`query_len` elements) is <= epsilon, sorted by (seq, start, len).
   std::vector<core::Match> Search(std::span<const Value> query,
                                   std::size_t query_len, Value epsilon,
+                                  const core::QueryOptions& query_options = {},
                                   core::SearchStats* stats = nullptr) const;
+
+  /// The k subsequences nearest to the query under the multivariate D_tw,
+  /// sorted by distance (branch-and-bound over the same filter; ties at
+  /// the k-th distance are broken arbitrarily).
+  std::vector<core::Match> SearchKnn(
+      std::span<const Value> query, std::size_t query_len, std::size_t k,
+      const core::QueryOptions& query_options = {},
+      core::SearchStats* stats = nullptr) const;
 
   std::uint64_t IndexBytes() const { return tree_->SizeBytes(); }
   const GridAlphabet& grid() const { return *grid_; }
+  const MultiIndexOptions& options() const { return options_; }
 
  private:
   MultiIndex() = default;
@@ -53,10 +69,12 @@ class MultiIndex {
   std::optional<suffixtree::SuffixTree> tree_;
 };
 
-/// Sequential-scan baseline for multivariate queries (ground truth).
+/// Sequential-scan baseline for multivariate queries (ground truth), under
+/// an optional Sakoe-Chiba band.
 std::vector<core::Match> MultiSeqScan(const MultiSequenceDatabase& db,
                                       std::span<const Value> query,
-                                      std::size_t query_len, Value epsilon);
+                                      std::size_t query_len, Value epsilon,
+                                      Pos band = 0);
 
 }  // namespace tswarp::mv
 

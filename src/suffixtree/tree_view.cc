@@ -4,8 +4,17 @@ namespace tswarp::suffixtree {
 
 void TreeView::CollectSubtreeOccurrences(
     NodeId node, std::vector<OccurrenceRec>* out) const {
-  std::vector<NodeId> stack = {node};
-  Children children;
+  SubtreeScratch scratch;
+  CollectSubtreeOccurrences(node, out, &scratch);
+}
+
+void TreeView::CollectSubtreeOccurrences(NodeId node,
+                                         std::vector<OccurrenceRec>* out,
+                                         SubtreeScratch* scratch) const {
+  std::vector<NodeId>& stack = scratch->stack;
+  Children& children = scratch->children;
+  stack.clear();
+  stack.push_back(node);
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();

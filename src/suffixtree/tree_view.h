@@ -50,6 +50,13 @@ struct Children {
   Symbol FirstSymbol(const Edge& e) const { return label_pool[e.label_begin]; }
 };
 
+/// Reusable buffers for subtree-occurrence collection (see
+/// TreeView::CollectSubtreeOccurrences below).
+struct SubtreeScratch {
+  std::vector<NodeId> stack;
+  Children children;
+};
+
 /// Read-only interface over a generalized suffix tree, implemented by the
 /// in-memory SuffixTree and the disk-backed DiskSuffixTree. The similarity
 /// searchers, the merge algorithm, and the serializer are all written
@@ -96,6 +103,13 @@ class TreeView {
   /// DFS helper: appends every occurrence in the subtree of `node`.
   void CollectSubtreeOccurrences(NodeId node,
                                  std::vector<OccurrenceRec>* out) const;
+
+  /// Scratch-reusing variant for hot-path callers (the search driver
+  /// collects once per matched edge): identical traversal and output
+  /// order, but the DFS stack and children buffer live in `scratch` and
+  /// are reused across calls, so a warmed-up caller allocates nothing.
+  void CollectSubtreeOccurrences(NodeId node, std::vector<OccurrenceRec>* out,
+                                 SubtreeScratch* scratch) const;
 };
 
 /// Write interface for producing a suffix tree node-by-node; implemented by

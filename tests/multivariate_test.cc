@@ -171,6 +171,71 @@ INSTANTIATE_TEST_SUITE_P(
              "_dim" + std::to_string(std::get<1>(info.param));
     });
 
+// Suite name matters: the TSan CI job selects concurrency suites with
+// -R 'ThreadPool|ParallelSearch|MultivariateParallel'.
+class MultivariateParallelTest
+    : public testing::TestWithParam<std::tuple<bool, std::size_t>> {};
+
+TEST_P(MultivariateParallelTest, ParallelMatchesSerialByteIdentical) {
+  const auto [sparse, dim] = GetParam();
+  const MultiSequenceDatabase db =
+      RandomMultiDb(40 + static_cast<std::uint64_t>(dim), dim, 8, 25);
+  MultiIndexOptions options;
+  options.sparse = sparse;
+  options.categories_per_dim = 4;
+  auto index = MultiIndex::Build(&db, options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  Rng rng(300 + dim);
+  for (int qi = 0; qi < 4; ++qi) {
+    const auto qlen = static_cast<std::size_t>(rng.UniformInt(2, 5));
+    const std::vector<Value> q = RandomMultiQuery(dim, qlen, &rng);
+    const Value eps = rng.Uniform(1, 15);
+    core::SearchStats serial_stats;
+    const std::vector<core::Match> serial =
+        index->Search(q, qlen, eps, {}, &serial_stats);
+    const std::vector<core::Match> serial_knn =
+        index->SearchKnn(q, qlen, 5);
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      core::QueryOptions query_options;
+      query_options.num_threads = threads;
+      core::SearchStats stats;
+      const std::vector<core::Match> parallel =
+          index->Search(q, qlen, eps, query_options, &stats);
+      ASSERT_EQ(serial.size(), parallel.size()) << "threads " << threads;
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].seq, parallel[i].seq);
+        EXPECT_EQ(serial[i].start, parallel[i].start);
+        EXPECT_EQ(serial[i].len, parallel[i].len);
+        EXPECT_EQ(serial[i].distance, parallel[i].distance)
+            << "threads " << threads << " at " << i;
+      }
+      // The emission-side totals are invariant under the decomposition
+      // (Theorem 1 guarantees pruned subtrees hold no answers); row
+      // counts may only grow, since tasks are split on topology before
+      // any distance work and may enter branches serial pruning skipped.
+      EXPECT_EQ(stats.answers, serial_stats.answers);
+      EXPECT_EQ(stats.candidates, serial_stats.candidates);
+      EXPECT_EQ(stats.exact_dtw_calls, serial_stats.exact_dtw_calls);
+      EXPECT_GE(stats.rows_pushed, serial_stats.rows_pushed);
+      const std::vector<core::Match> parallel_knn =
+          index->SearchKnn(q, qlen, 5, query_options);
+      ASSERT_EQ(serial_knn.size(), parallel_knn.size());
+      for (std::size_t i = 0; i < serial_knn.size(); ++i) {
+        EXPECT_EQ(serial_knn[i].seq, parallel_knn[i].seq);
+        EXPECT_EQ(serial_knn[i].distance, parallel_knn[i].distance);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultivariateParallelTest,
+    testing::Combine(testing::Bool(), testing::Values(1u, 2u, 3u)),
+    [](const testing::TestParamInfo<std::tuple<bool, std::size_t>>& info) {
+      return std::string(std::get<0>(info.param) ? "sparse" : "dense") +
+             "_dim" + std::to_string(std::get<1>(info.param));
+    });
+
 TEST(MultiIndexTest, RejectsEmptyDatabase) {
   MultiSequenceDatabase db(2);
   EXPECT_FALSE(MultiIndex::Build(&db, {}).ok());

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "core/seq_scan.h"
 #include "storage/buffer_manager.h"
 #include "datagen/generators.h"
+#include "multivariate/multi_index.h"
 #include "suffixtree/dot_export.h"
 
 namespace tswarp {
@@ -109,13 +111,17 @@ int Usage() {
                "[--pool-shards S] [--eviction lru|clock] [--readahead R]\n"
                "  search DB --query v1,v2,... --epsilon E [--kind ...] "
                "[--categories C] [--index PATH] [--scan] [--limit N] "
-               "[--threads T] [--band B] [--no-lb] [--stats] "
+               "[--threads T] [--band B] [--no-lb] [--stats] [--multi D] "
                "[--pool-pages P] [--pool-shards S] [--eviction lru|clock] "
                "[--readahead R]\n"
                "  knn DB --query v1,v2,... --k K [--kind ...] "
                "[--categories C] [--threads T] [--band B] [--no-lb] "
-               "[--stats]\n"
-               "  dot DB [--categories C] [--max-nodes N]\n");
+               "[--stats] [--multi D]\n"
+               "  dot DB [--categories C] [--max-nodes N]\n"
+               "--multi D reads DB as D-dimensional sequences (flattened "
+               "element-major; every sequence and the query must have a "
+               "multiple of D values). --kind stc = dense grid index, "
+               "sstc = sparse; st has no multivariate analogue.\n");
   return 2;
 }
 
@@ -145,9 +151,10 @@ void PrintPoolLine(const char* name,
               static_cast<unsigned long long>(s.shard_conflicts));
 }
 
-/// Prints the merged traversal counters and, for disk-backed indexes, the
-/// per-region buffer-manager cache behavior of this query.
-void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
+/// Prints the merged traversal counters of one search. Shared by the
+/// univariate and multivariate paths: both run core::SearchDriver, so the
+/// counters mean the same thing in either mode.
+void PrintStatsCounters(const core::SearchStats& stats) {
   std::printf(
       "stats: nodes %llu, rows %llu (+%llu replayed), pruned %llu, "
       "candidates %llu, endpoint-rejected %llu, lb-screened %llu, "
@@ -161,6 +168,12 @@ void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
       static_cast<unsigned long long>(stats.lb_invocations),
       static_cast<unsigned long long>(stats.lb_pruned),
       static_cast<unsigned long long>(stats.exact_dtw_calls));
+}
+
+/// Counters plus, for disk-backed indexes, the per-region buffer-manager
+/// cache behavior of this query.
+void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
+  PrintStatsCounters(stats);
   if (index.disk_tree() != nullptr) {
     const suffixtree::DiskSuffixTree& tree = *index.disk_tree();
     std::printf("pool config: %zu pages x 3 regions, %zu shards, %s "
@@ -255,6 +268,124 @@ IndexOptions OptionsFromFlags(int argc, char** argv) {
   const char* index_path = FlagValue(argc, argv, "--index", nullptr);
   if (index_path != nullptr) options.disk_path = index_path;
   return options;
+}
+
+// --multi D: read the database as D-dimensional multivariate sequences.
+// 0 (the default, flag absent) means univariate. Returns false (after
+// printing) on a bad value.
+bool FlagMulti(int argc, char** argv, std::size_t* out) {
+  const long raw = FlagLong(argc, argv, "--multi", 0);
+  if (raw < 0) {
+    std::fprintf(stderr, "--multi must be >= 1 dimensions (got %ld)\n", raw);
+    return false;
+  }
+  *out = static_cast<std::size_t>(raw);
+  return true;
+}
+
+// Reinterprets the flat univariate database as element-major `dim`-wide
+// multivariate sequences. Every sequence must hold a whole number of
+// elements; returns false (after printing) otherwise.
+bool BuildMultiDb(const seqdb::SequenceDatabase& db, std::size_t dim,
+                  std::optional<mv::MultiSequenceDatabase>* out) {
+  out->emplace(dim);
+  for (SeqId id = 0; id < db.size(); ++id) {
+    const seqdb::Sequence& s = db.sequence(id);
+    if (s.size() % dim != 0) {
+      std::fprintf(stderr,
+                   "--multi %zu: sequence %u has %zu values, not a "
+                   "multiple of the dimension\n",
+                   dim, id, s.size());
+      return false;
+    }
+    (*out)->Add(s);
+  }
+  return true;
+}
+
+/// Multivariate search/k-NN (`--multi D`): grid-cell index over the
+/// reinterpreted database, searched through the same core::SearchDriver as
+/// the univariate modes — so --threads, --band, --no-lb and --stats carry
+/// over unchanged. `k == 0` runs a range search with `epsilon`.
+int RunMultiSearch(int argc, char** argv, const seqdb::SequenceDatabase& db,
+                   const std::vector<Value>& query, std::size_t dim,
+                   Value epsilon, std::size_t k, std::size_t limit) {
+  if (query.size() % dim != 0) {
+    std::fprintf(stderr,
+                 "--multi %zu: the query has %zu values, not a multiple "
+                 "of the dimension\n",
+                 dim, query.size());
+    return 1;
+  }
+  const std::size_t query_len = query.size() / dim;
+  if (FlagValue(argc, argv, "--index", nullptr) != nullptr) {
+    std::fprintf(stderr, "--multi indexes are in-memory only (no --index)\n");
+    return 1;
+  }
+  std::optional<mv::MultiSequenceDatabase> mdb;
+  if (!BuildMultiDb(db, dim, &mdb)) return 1;
+
+  core::QueryOptions query_options;
+  if (!FlagThreads(argc, argv, &query_options.num_threads)) return 1;
+  if (!FlagBand(argc, argv, query_len, &query_options.band)) return 1;
+  query_options.use_lower_bound = !HasFlag(argc, argv, "--no-lb");
+
+  std::vector<Match> matches;
+  if (k == 0 && HasFlag(argc, argv, "--scan")) {
+    matches = mv::MultiSeqScan(*mdb, query, query_len, epsilon,
+                               query_options.band);
+  } else {
+    mv::MultiIndexOptions options;
+    const std::string kind = FlagValue(argc, argv, "--kind", "sstc");
+    if (kind == "st") {
+      std::fprintf(stderr,
+                   "--kind st (exact values) has no multivariate analogue; "
+                   "use --kind stc or sstc with --multi\n");
+      return 1;
+    }
+    options.sparse = kind != "stc";
+    if (query_options.band != 0 && options.sparse) {
+      std::fprintf(stderr,
+                   "--band needs a dense index (--kind stc): sparse suffix "
+                   "recovery is unsound under a band\n");
+      return 1;
+    }
+    const long categories = FlagLong(argc, argv, "--categories", 8);
+    if (categories < 1) {
+      std::fprintf(stderr, "--categories must be >= 1 (got %ld)\n",
+                   categories);
+      return 1;
+    }
+    options.categories_per_dim = static_cast<std::size_t>(categories);
+    auto index = mv::MultiIndex::Build(&*mdb, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "index failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    core::SearchStats stats;
+    matches = k == 0 ? index->Search(query, query_len, epsilon,
+                                     query_options, &stats)
+                     : index->SearchKnn(query, query_len, k, query_options,
+                                        &stats);
+    if (HasFlag(argc, argv, "--stats")) PrintStatsCounters(stats);
+  }
+  if (k == 0) {
+    std::printf("%zu matches (epsilon %.3f, dim %zu)\n", matches.size(),
+                epsilon, dim);
+  } else {
+    std::printf("%zu nearest subsequences (dim %zu):\n", matches.size(),
+                dim);
+  }
+  for (std::size_t i = 0; i < matches.size() && i < limit; ++i) {
+    const Match& m = matches[i];
+    std::printf("  S%u[%u..%u] len %u  D_tw %.4f\n", m.seq, m.start,
+                m.start + m.len - 1, m.len, m.distance);
+  }
+  if (matches.size() > limit) {
+    std::printf("  ... %zu more (raise --limit)\n", matches.size() - limit);
+  }
+  return 0;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -357,6 +488,12 @@ int CmdSearch(int argc, char** argv) {
   const Value epsilon = FlagDouble(argc, argv, "--epsilon", 10.0);
   const auto limit =
       static_cast<std::size_t>(FlagLong(argc, argv, "--limit", 20));
+  std::size_t multi_dim = 0;
+  if (!FlagMulti(argc, argv, &multi_dim)) return 1;
+  if (multi_dim != 0) {
+    return RunMultiSearch(argc, argv, *db, query, multi_dim, epsilon,
+                          /*k=*/0, limit);
+  }
 
   std::vector<Match> matches;
   const bool scanned = HasFlag(argc, argv, "--scan");
@@ -417,6 +554,16 @@ int CmdKnn(int argc, char** argv) {
       ParseQuery(FlagValue(argc, argv, "--query", nullptr));
   if (query.empty()) return Usage();
   const auto k = static_cast<std::size_t>(FlagLong(argc, argv, "--k", 5));
+  std::size_t multi_dim = 0;
+  if (!FlagMulti(argc, argv, &multi_dim)) return 1;
+  if (multi_dim != 0) {
+    if (k == 0) {
+      std::fprintf(stderr, "--k must be >= 1\n");
+      return 1;
+    }
+    return RunMultiSearch(argc, argv, *db, query, multi_dim, /*epsilon=*/0.0,
+                          k, /*limit=*/k);
+  }
   IndexOptions options = OptionsFromFlags(argc, argv);
   if (!ApplyPoolFlags(argc, argv, &options)) return 1;
   auto index = Index::Build(&*db, options);
