@@ -1,5 +1,11 @@
 // Micro benchmarks of the DTW kernels and the suffix-tree construction /
 // merge substrates (google-benchmark).
+//
+// Extra flags (stripped before google-benchmark sees argv):
+//   --json   also write BENCH_micro_kernels.json (see report_json.h); the
+//            active SIMD backend is recorded, so baselines taken under
+//            TSWARP_SIMD=scalar and the host's best backend are directly
+//            diffable.
 
 #include <algorithm>
 #include <cstdlib>
@@ -10,6 +16,8 @@
 #include <vector>
 
 #include <benchmark/benchmark.h>
+
+#include "report_json.h"
 
 #include "categorize/categorizer.h"
 #include "core/match.h"
@@ -73,10 +81,15 @@ BENCHMARK(BM_DtwWithinThreshold)
 
 void BM_WarpingTablePushRow(benchmark::State& state) {
   const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 3);
+  // Values are pre-generated so the loop times PushRowValue, not the RNG.
   Rng rng(4);
+  std::vector<Value> values(512);
+  for (Value& v : values) v = rng.Uniform(0, 100);
   dtw::WarpingTable table(q);
+  std::size_t i = 0;
   for (auto _ : state) {
-    table.PushRowValue(rng.Uniform(0, 100));
+    table.PushRowValue(values[i]);
+    i = i + 1 == values.size() ? 0 : i + 1;
     if (table.NumRows() > 512) table.PopRows(512);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -621,5 +634,48 @@ void BM_CategorizedInlinedDfs(benchmark::State& state) {
 }
 BENCHMARK(BM_CategorizedInlinedDfs)->ArgName("lb")->Arg(0)->Arg(1);
 
+/// Console output plus a JSON mirror of every per-iteration measurement
+/// (aggregates and errored runs are skipped; the JSON holds raw entries).
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::JsonReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      bench::JsonReport::Counters counters;
+      for (const auto& [name, counter] : run.counters) {
+        counters.emplace_back(name, counter.value);
+      }
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_->Add(run.benchmark_name(),
+                   run.real_accumulated_time / iters * 1e9,
+                   std::move(counters));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonReport* report_;
+};
+
 }  // namespace
 }  // namespace tswarp
+
+int main(int argc, char** argv) {
+  const bool json = tswarp::bench::StripJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json) {
+    tswarp::bench::JsonReport report("micro_kernels");
+    tswarp::JsonCapturingReporter reporter(&report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    report.Write();
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

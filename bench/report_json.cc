@@ -1,0 +1,103 @@
+#include "report_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "dtw/simd.h"
+
+namespace tswarp::bench {
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes, and control bytes.
+/// Benchmark names are ASCII ("BM_Foo/8"), so this covers everything that
+/// can occur.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// JSON has no infinity/NaN literals; clamp to null-safe numbers.
+std::string Number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void JsonReport::Add(std::string name, double real_time_ns,
+                     Counters counters) {
+  entries_.push_back({std::move(name), real_time_ns, std::move(counters)});
+}
+
+bool JsonReport::Write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "report_json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << Escape(bench_name_) << "\",\n"
+      << "  \"simd_backend\": \"" << dtw::simd::ActiveBackend() << "\",\n"
+      << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out << "    {\"name\": \"" << Escape(e.name) << "\", \"real_time_ns\": "
+        << Number(e.real_time_ns);
+    if (!e.counters.empty()) {
+      out << ", \"counters\": {";
+      for (std::size_t j = 0; j < e.counters.size(); ++j) {
+        if (j != 0) out << ", ";
+        out << "\"" << Escape(e.counters[j].first)
+            << "\": " << Number(e.counters[j].second);
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "report_json: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "report_json: wrote %s (%zu entries, backend %s)\n",
+               path.c_str(), entries_.size(), dtw::simd::ActiveBackend());
+  return true;
+}
+
+bool StripJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0) {
+      found = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return found;
+}
+
+}  // namespace tswarp::bench

@@ -1,0 +1,60 @@
+#ifndef TSWARP_BENCH_REPORT_JSON_H_
+#define TSWARP_BENCH_REPORT_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tswarp::bench {
+
+/// Machine-readable benchmark trajectory: a bench binary run with --json
+/// appends every measurement here and writes BENCH_<bench>.json next to
+/// the working directory. Committed baselines of these files let later
+/// sessions diff kernel performance against this one without re-deriving
+/// the harness ("bench trajectory").
+///
+/// Schema (stable; extend by adding keys, never repurposing them):
+///   {
+///     "bench": "<binary name>",
+///     "simd_backend": "<active dtw::simd backend>",
+///     "entries": [
+///       {"name": "...", "real_time_ns": <double>,
+///        "counters": {"<k>": <double>, ...}},
+///       ...
+///     ]
+///   }
+class JsonReport {
+ public:
+  using Counters = std::vector<std::pair<std::string, double>>;
+
+  /// `bench_name` becomes both the "bench" field and the output file name
+  /// BENCH_<bench_name>.json.
+  explicit JsonReport(std::string bench_name);
+
+  /// Records one measurement. `real_time_ns` is the per-iteration (or
+  /// per-query) wall time in nanoseconds.
+  void Add(std::string name, double real_time_ns, Counters counters = {});
+
+  /// Writes BENCH_<bench>.json into `dir` (default: current directory).
+  /// Returns false (after printing to stderr) if the file cannot be
+  /// written.
+  bool Write(const std::string& dir = ".") const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_time_ns;
+    Counters counters;
+  };
+
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
+
+/// True if `--json` appears in argv; removes it so downstream flag parsing
+/// (google-benchmark's, bench_util's) never sees it.
+bool StripJsonFlag(int* argc, char** argv);
+
+}  // namespace tswarp::bench
+
+#endif  // TSWARP_BENCH_REPORT_JSON_H_

@@ -21,7 +21,11 @@
 // search work: the sharded rows should pull ahead at >= 4 threads.
 //
 //   scaling_threads [--queries N] [--epsilon E] [--categories C] [--quick]
-//                   [--st] [--disk]
+//                   [--st] [--disk] [--json]
+//
+// --json writes BENCH_scaling_threads.json (see report_json.h) with the
+// raw per-query times, so thread-scaling baselines can be diffed across
+// sessions and SIMD backends.
 
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "report_json.h"
 #include "common/thread_pool.h"
 #include "core/index.h"
 
@@ -69,6 +74,8 @@ double BatchSeconds(const Index& index,
 }
 
 int Run(int argc, char** argv) {
+  const bool json = bench::StripJsonFlag(&argc, argv);
+  bench::JsonReport report("scaling_threads");
   const bool quick = bench::HasFlag(argc, argv, "--quick");
   const bool include_st = bench::HasFlag(argc, argv, "--st");
   const auto num_queries = static_cast<std::size_t>(
@@ -111,10 +118,16 @@ int Run(int argc, char** argv) {
     }
     const double serial = AvgQuerySeconds(*index, queries, epsilon, 0);
     std::printf("%-6s %10.4f", IndexKindToString(kind), serial);
+    const std::string kind_name = IndexKindToString(kind);
+    report.Add(kind_name + "/serial", serial * 1e9);
     for (const std::size_t t : thread_counts) {
       const double intra = AvgQuerySeconds(*index, queries, epsilon, t);
       const double batch = BatchSeconds(*index, queries, epsilon, t);
       std::printf(" %7.2fx %7.2fx", serial / intra, serial / batch);
+      report.Add(kind_name + "/query@" + std::to_string(t), intra * 1e9,
+                 {{"speedup", serial / intra}});
+      report.Add(kind_name + "/batch@" + std::to_string(t), batch * 1e9,
+                 {{"speedup", serial / batch}});
     }
     std::printf("\n");
   }
@@ -171,9 +184,13 @@ int Run(int argc, char** argv) {
       }
       const double serial = AvgQuerySeconds(*index, queries, epsilon, 0);
       std::printf("%-14s %10.4f", pool.name, serial);
+      report.Add(std::string("disk/") + pool.name + "/serial", serial * 1e9);
       for (const std::size_t t : thread_counts) {
         const double batch = BatchSeconds(*index, queries, epsilon, t);
         std::printf(" %7.2fx", serial / batch);
+        report.Add(std::string("disk/") + pool.name + "/batch@" +
+                       std::to_string(t),
+                   batch * 1e9, {{"speedup", serial / batch}});
       }
       const auto stats = index->PoolStats();
       std::printf(" %10llu\n",
@@ -186,6 +203,7 @@ int Run(int argc, char** argv) {
                 "shard-lock acquisitions)\n");
     std::filesystem::remove_all(dir);
   }
+  if (json && !report.Write()) return 1;
   return 0;
 }
 

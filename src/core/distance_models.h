@@ -39,11 +39,10 @@ class ExactModel {
 
   Value FirstRowLb(Symbol) const { return 0.0; }
 
+  /// The driver binds the query span to the table (DriverConfig::query),
+  /// so the typed SIMD row step applies directly.
   void RowStep(dtw::WarpingTable* table, Symbol s) const {
-    const Value v = (*symbol_values_)[static_cast<std::size_t>(s)];
-    table->PushRowCustom([q = query_, v](std::size_t x) {
-      return dtw::BaseDistance(q[x], v);
-    });
+    table->PushRowValue((*symbol_values_)[static_cast<std::size_t>(s)]);
   }
 
   // Never called: exact trees are dense and emit without verification.
@@ -88,9 +87,7 @@ class CategoryModel {
 
   void RowStep(dtw::WarpingTable* table, Symbol s) const {
     const dtw::Interval iv = alphabet_->ToInterval(s);
-    table->PushRowCustom([q = query_, iv](std::size_t x) {
-      return dtw::BaseDistanceLb(q[x], iv.lb, iv.ub);
-    });
+    table->PushRowInterval(iv.lb, iv.ub);
   }
 
   Value OccurrenceFirstLb(const suffixtree::OccurrenceRec& occ) const {
@@ -104,14 +101,18 @@ class CategoryModel {
   bool VerifyExact(SeqId seq, Pos start, Pos len, Value eps,
                    SearchStats* stats, Value* distance) {
     const std::span<const Value> sub = db_->Subsequence(seq, start, len);
+    // Screens compare against the slackened threshold so reassociation
+    // drift between a bound and the exact kernel cannot dismiss a
+    // boundary candidate (see dtw::LbPruneThreshold).
+    const Value cut = dtw::LbPruneThreshold(eps);
     // O(1) endpoint screen before the O(|Q| len) exact computation.
-    if (dtw::EndpointLowerBound(query_, sub) > eps) {
+    if (dtw::EndpointLowerBound(query_, sub) > cut) {
       ++stats->endpoint_rejections;
       return false;
     }
     if (envelope_ != nullptr) {
       ++stats->lb_invocations;
-      if (dtw::LbImproved(*envelope_, query_, sub, eps, &lb_scratch_) > eps) {
+      if (dtw::LbImproved(*envelope_, query_, sub, cut, &lb_scratch_) > cut) {
         ++stats->lb_pruned;
         return false;
       }

@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -73,6 +74,16 @@ struct DriverConfig {
   /// Query length in elements (table width). For multivariate queries this
   /// is the element count, not the flattened value count.
   std::size_t query_length = 0;
+
+  /// Raw univariate query values (length == query_length), bound to each
+  /// worker's table so models can use the typed SIMD row-step paths
+  /// (PushRowValue / PushRowInterval). Empty for multivariate queries,
+  /// whose base distances are not derivable from a Value span.
+  std::span<const Value> query = {};
+
+  /// Expected DFS depth (rows simultaneously live in a worker's table);
+  /// pre-sizes the table's cell storage. 0 = use the table's default.
+  std::size_t depth_hint = 0;
 
   /// Sparse tree (SST_C): discount the Theorem-1 bound by
   /// (MaxRun-1) * FirstRowLb and recover non-stored suffixes via D_tw-lb2.
@@ -204,7 +215,12 @@ class SearchDriver {
           model_(prototype),
           ctx_(*ctx),
           collector_(ctx->collector),
-          table_(config.query_length, config.band) {}
+          table_(config.query_length, config.band,
+                 config.depth_hint != 0
+                     ? config.depth_hint
+                     : dtw::WarpingTable::kDefaultDepthHint) {
+      if (!config.query.empty()) table_.BindQuery(config.query);
+    }
 
     /// Serial entry point: the whole traversal from the root.
     void RunWholeTree() {

@@ -1,5 +1,6 @@
 #include "core/seq_scan.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/logging.h"
@@ -25,7 +26,15 @@ std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
   // per-element cut ahead of the O(|Q|) row build + Theorem-1 test.
   std::optional<dtw::QueryEnvelope> env;
   if (options.use_lower_bound) env.emplace(query, options.band);
-  dtw::WarpingTable table(query, options.band);
+  // Lower-bound cuts use the slackened threshold (dtw::LbPruneThreshold)
+  // so reassociation drift against the exact kernel cannot dismiss a
+  // boundary candidate that the unfiltered scan keeps.
+  const Value lb_cut = dtw::LbPruneThreshold(epsilon);
+  std::size_t max_len = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    max_len = std::max(max_len, db.sequence(id).size());
+  }
+  dtw::WarpingTable table(query, options.band, std::max<std::size_t>(1, max_len));
   for (SeqId id = 0; id < db.size(); ++id) {
     const seqdb::Sequence& s = db.sequence(id);
     const auto n = static_cast<Pos>(s.size());
@@ -36,7 +45,7 @@ std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
       for (Pos q = p; q < n; ++q) {
         if (env.has_value()) {
           running_lb += env->ElementLb(q - p, s[q]);
-          if (running_lb > epsilon) {
+          if (running_lb > lb_cut) {
             ++local.lb_pruned;
             break;
           }

@@ -1,5 +1,6 @@
 #include "core/tree_search.h"
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -37,10 +38,19 @@ DriverConfig MakeDriverConfig(const TreeSearchConfig& config,
   DriverConfig driver;
   driver.tree = config.tree;
   driver.query_length = query.size();
+  driver.query = query;
   driver.sparse = config.sparse;
   driver.prune = config.prune;
   driver.band = config.band;
   driver.num_threads = config.num_threads;
+  if (config.db != nullptr) {
+    // DFS depth is bounded by the longest suffix in the tree.
+    std::size_t max_len = 0;
+    for (SeqId id = 0; id < config.db->size(); ++id) {
+      max_len = std::max(max_len, config.db->sequence(id).size());
+    }
+    driver.depth_hint = max_len;
+  }
   return driver;
 }
 

@@ -11,7 +11,7 @@ namespace tswarp::dtw {
 
 Value DtwDistance(std::span<const Value> a, std::span<const Value> b) {
   TSW_CHECK(!a.empty() && !b.empty());
-  WarpingTable table(a);
+  WarpingTable table(a, /*band=*/0, b.size());
   for (Value v : b) table.PushRowValue(v);
   return table.LastColumn();
 }
@@ -19,7 +19,7 @@ Value DtwDistance(std::span<const Value> a, std::span<const Value> b) {
 bool DtwWithinThreshold(std::span<const Value> a, std::span<const Value> b,
                         Value epsilon, Value* distance) {
   TSW_CHECK(!a.empty() && !b.empty());
-  WarpingTable table(a);
+  WarpingTable table(a, /*band=*/0, b.size());
   for (Value v : b) {
     table.PushRowValue(v);
     if (table.RowMin() > epsilon) return false;  // Theorem 1.
@@ -38,7 +38,7 @@ Value DtwDistanceBanded(std::span<const Value> a, std::span<const Value> b,
   const std::size_t diff = la > lb ? la - lb : lb - la;
   if (diff > band && band != 0) return kInfinity;
   if (band == 0 && la != lb) return kInfinity;
-  WarpingTable table(a, band == 0 ? 1 : band);
+  WarpingTable table(a, band == 0 ? 1 : band, lb);
   if (band == 0) {
     // Degenerate band: diagonal-only alignment.
     Value total = 0.0;
@@ -51,7 +51,7 @@ Value DtwDistanceBanded(std::span<const Value> a, std::span<const Value> b,
 
 Value DtwLowerBound(std::span<const Value> q, std::span<const Interval> cs) {
   TSW_CHECK(!q.empty() && !cs.empty());
-  WarpingTable table(q);
+  WarpingTable table(q, /*band=*/0, cs.size());
   for (const Interval& iv : cs) table.PushRowInterval(iv.lb, iv.ub);
   return table.LastColumn();
 }

@@ -1,50 +1,33 @@
 #include "dtw/envelope.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/logging.h"
 #include "dtw/base.h"
+#include "dtw/simd.h"
 #include "dtw/warping_table.h"
 
 namespace tswarp::dtw {
 namespace {
 
-/// Streaming sliding-window min/max (Lemire's monotonic-deque algorithm):
-/// for every data offset j in [0, n + band) computes the extrema of
-/// seq[max(0, j-band) .. min(n-1, j+band)] in O(n) total. The deques hold
-/// indices of a decreasing (max) / increasing (min) subsequence; each index
-/// enters and leaves each deque at most once.
+/// Banded sliding-window extrema through the dispatched kernel: for every
+/// data offset j in [0, n + band) computes the extrema of
+/// seq[max(0, j-band) .. min(n-1, j+band)]. The kernel's branch-free
+/// doubling scheme replaced the monotonic-deque pass here: it uses only
+/// two-operand min/max, so it vectorizes and stays bitwise identical
+/// across backends, and the reused `work` scratch (2 * (n + 3*band)
+/// values) keeps the banded LB_Improved hot path allocation-free.
+/// Requires band >= 1 (band == 0 takes the unconstrained path) and
+/// non-empty seq.
 void BandedExtrema(std::span<const Value> seq, Pos band,
-                   std::vector<Value>* lower, std::vector<Value>* upper) {
+                   simd::AlignedVector* lower, simd::AlignedVector* upper,
+                   simd::AlignedVector* work) {
   const std::size_t n = seq.size();
-  const std::size_t reach = n + band;
-  lower->resize(reach);
-  upper->resize(reach);
-  std::deque<std::size_t> min_dq;
-  std::deque<std::size_t> max_dq;
-  std::size_t next = 0;  // First element not yet admitted to the window.
-  for (std::size_t j = 0; j < reach; ++j) {
-    const std::size_t hi = std::min(j + band, n - 1);  // Window right edge.
-    while (next <= hi) {
-      while (!min_dq.empty() && seq[min_dq.back()] >= seq[next]) {
-        min_dq.pop_back();
-      }
-      min_dq.push_back(next);
-      while (!max_dq.empty() && seq[max_dq.back()] <= seq[next]) {
-        max_dq.pop_back();
-      }
-      max_dq.push_back(next);
-      ++next;
-    }
-    if (j > band) {  // Window left edge is j - band.
-      const std::size_t lo = j - band;
-      while (min_dq.front() < lo) min_dq.pop_front();
-      while (max_dq.front() < lo) max_dq.pop_front();
-    }
-    (*lower)[j] = seq[min_dq.front()];
-    (*upper)[j] = seq[max_dq.front()];
-  }
+  lower->resize(n + band);
+  upper->resize(n + band);
+  work->resize(2 * (n + 3 * static_cast<std::size_t>(band)));
+  simd::Kernels().banded_extrema(seq.data(), n, band, lower->data(),
+                                 upper->data(), work->data());
 }
 
 }  // namespace
@@ -59,19 +42,24 @@ QueryEnvelope::QueryEnvelope(std::span<const Value> query, Pos band)
     upper_.assign(1, *hi);
     reach_ = kNoReachLimit;
   } else {
-    BandedExtrema(query, band, &lower_, &upper_);
+    simd::AlignedVector work;  // Once per query: a local is fine.
+    BandedExtrema(query, band, &lower_, &upper_, &work);
     reach_ = lower_.size();
   }
 }
 
 Value LbKeogh(const QueryEnvelope& env, std::span<const Value> candidate,
               Value abandon_above) {
-  Value sum = 0.0;
-  for (std::size_t j = 0; j < candidate.size(); ++j) {
-    sum += env.ElementLb(j, candidate[j]);
-    if (sum > abandon_above) return sum;
+  const std::size_t len = candidate.size();
+  // Beyond the banded reach some element admits no legal path at all.
+  if (len > env.reach()) return kInfinity;
+  const simd::KernelTable& k = simd::Kernels();
+  if (env.unconstrained()) {
+    return k.lb_keogh_const(candidate.data(), env.LowerAt(0), env.UpperAt(0),
+                            len, abandon_above);
   }
-  return sum;
+  return k.lb_keogh(candidate.data(), env.lower().data(), env.upper().data(),
+                    len, abandon_above);
 }
 
 Value LbImproved(const QueryEnvelope& env, std::span<const Value> query,
@@ -79,45 +67,39 @@ Value LbImproved(const QueryEnvelope& env, std::span<const Value> query,
                  EnvelopeScratch* scratch) {
   TSW_DCHECK(scratch != nullptr);
   const std::size_t len = candidate.size();
-  // Pass 1: LB_Keogh, recording the projection h(S) (no early abandon here
-  // so the projection is complete; the per-element work is the same).
-  std::vector<Value>& h = scratch->projection;
+  if (len > env.reach()) return kInfinity;  // Beyond banded reach.
+  const simd::KernelTable& k = simd::Kernels();
+  // Pass 1: LB_Keogh, recording the projection h(S) = clamp(S, envelope)
+  // (no early abandon here so the projection is complete; the per-element
+  // work is the same).
+  simd::AlignedVector& h = scratch->projection;
   h.resize(len);
-  Value sum = 0.0;
-  for (std::size_t j = 0; j < len; ++j) {
-    const Value v = candidate[j];
-    const Value e = env.ElementLb(j, v);
-    if (e == kInfinity) return kInfinity;  // Beyond banded reach.
-    sum += e;
-    // h_j = clamp(v, lower[j], upper[j]): e > 0 means v sits outside the
-    // envelope and projects onto the violated edge.
-    h[j] = e == 0.0 ? v : (v > env.UpperAt(j) ? env.UpperAt(j)
-                                              : env.LowerAt(j));
-  }
+  Value sum =
+      env.unconstrained()
+          ? k.lb_improved_pass1_const(candidate.data(), env.LowerAt(0),
+                                      env.UpperAt(0), h.data(), len)
+          : k.lb_improved_pass1(candidate.data(), env.lower().data(),
+                                env.upper().data(), h.data(), len);
   if (sum > abandon_above) return sum;
 
   // Pass 2: each query element must align with some h-reachable data
   // element, so its distance to the envelope of h(S) adds to the bound
-  // (the two terms count disjoint path-cost shares).
+  // (the two terms count disjoint path-cost shares). The kernel's abandon
+  // cap is the remaining budget; the returned partial is added back onto
+  // pass 1's sum, which keeps the result a valid lower bound either way.
   if (env.unconstrained()) {
     const auto [lo, hi] = std::minmax_element(h.begin(), h.end());
-    for (std::size_t i = 0; i < query.size(); ++i) {
-      sum += BaseDistanceLb(query[i], *lo, *hi);
-      if (sum > abandon_above) return sum;
-    }
-    return sum;
+    return sum + k.lb_keogh_const(query.data(), *lo, *hi, query.size(),
+                                  abandon_above - sum);
   }
-  BandedExtrema(h, env.band(), &scratch->proj_lower, &scratch->proj_upper);
-  const std::size_t proj_reach = scratch->proj_lower.size();
-  for (std::size_t i = 0; i < query.size(); ++i) {
-    // Query index i reaches data offsets [i - band, i + band]; beyond the
-    // projection's reach no legal banded path exists at all.
-    if (i >= proj_reach) return kInfinity;
-    sum += BaseDistanceLb(query[i], scratch->proj_lower[i],
-                          scratch->proj_upper[i]);
-    if (sum > abandon_above) return sum;
-  }
-  return sum;
+  BandedExtrema(h, env.band(), &scratch->proj_lower, &scratch->proj_upper,
+                &scratch->extrema_work);
+  // Query index i reaches data offsets [i - band, i + band]; beyond the
+  // projection's reach no legal banded path exists at all.
+  if (query.size() > scratch->proj_lower.size()) return kInfinity;
+  return sum + k.lb_keogh(query.data(), scratch->proj_lower.data(),
+                          scratch->proj_upper.data(), query.size(),
+                          abandon_above - sum);
 }
 
 bool DtwWithinThresholdLb(std::span<const Value> query,
@@ -127,22 +109,26 @@ bool DtwWithinThresholdLb(std::span<const Value> query,
   TSW_CHECK(!query.empty() && !candidate.empty());
   TSW_DCHECK(scratch != nullptr);
   const std::size_t len = candidate.size();
+  // Lower-bound cuts compare against the slackened threshold so that
+  // reassociation drift between the bounds and the exact kernel cannot
+  // dismiss a boundary candidate (see LbPruneThreshold).
+  const Value cut = LbPruneThreshold(epsilon);
   // suffix_lb[y] bounds the cost the path must still pay for rows y..len-1.
-  std::vector<Value>& suffix_lb = scratch->suffix_lb;
+  simd::AlignedVector& suffix_lb = scratch->suffix_lb;
   suffix_lb.resize(len + 1);
   suffix_lb[len] = 0.0;
   for (std::size_t y = len; y-- > 0;) {
     suffix_lb[y] = suffix_lb[y + 1] + env.ElementLb(y, candidate[y]);
   }
-  if (suffix_lb[0] > epsilon) return false;  // LB_Keogh re-check; free here.
+  if (suffix_lb[0] > cut) return false;  // LB_Keogh re-check; free here.
 
-  WarpingTable table(query, env.band());
+  WarpingTable table(query, env.band(), len);
   for (std::size_t y = 0; y < len; ++y) {
     table.PushRowValue(candidate[y]);
     // Every completion extends some partial path through row y+1 (cost
     // >= RowMin) and still pays at least the envelope bound of each
     // remaining row; Theorem 1 is the suffix_lb == 0 special case.
-    if (table.RowMin() + suffix_lb[y + 1] > epsilon) return false;
+    if (table.RowMin() + suffix_lb[y + 1] > cut) return false;
   }
   const Value d = table.LastColumn();
   if (d > epsilon) return false;

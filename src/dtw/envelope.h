@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "dtw/simd.h"
 
 namespace tswarp::dtw {
 
@@ -27,9 +28,10 @@ namespace tswarp::dtw {
 /// bound stays valid for candidates of any length — only the banded case
 /// runs out of reach (offsets j >= |Q| + band admit no legal path).
 ///
-/// Envelopes are built once per query (streaming monotonic deque for the
-/// banded case, O(|Q|) total; one running min/max pass when unconstrained)
-/// and shared by every candidate screen of the search.
+/// Envelopes are built once per query (the dispatched banded_extrema
+/// kernel's doubling scheme, O(|Q| log band) branch-free work; one running
+/// min/max pass when unconstrained) and shared by every candidate screen
+/// of the search.
 class QueryEnvelope {
  public:
   QueryEnvelope(std::span<const Value> query, Pos band);
@@ -69,18 +71,39 @@ class QueryEnvelope {
  private:
   Pos band_;
   std::size_t reach_;
-  std::vector<Value> lower_;
-  std::vector<Value> upper_;
+  simd::AlignedVector lower_;
+  simd::AlignedVector upper_;
 };
 
 /// Reusable buffers for the two-pass bound and the prefix-abandoning exact
 /// kernel; lets callers screen many candidates without re-allocating.
+/// Aligned so the dispatched SIMD kernels read them on full-width lanes.
 struct EnvelopeScratch {
-  std::vector<Value> projection;  // h(S): S clamped into Q's envelope.
-  std::vector<Value> proj_lower;  // Envelope of the projection (data side).
-  std::vector<Value> proj_upper;
-  std::vector<Value> suffix_lb;   // Suffix sums of per-element bounds.
+  simd::AlignedVector projection;  // h(S): S clamped into Q's envelope.
+  simd::AlignedVector proj_lower;  // Envelope of the projection (data side).
+  simd::AlignedVector proj_upper;
+  simd::AlignedVector suffix_lb;   // Suffix sums of per-element bounds.
+  // Padded scratch for the banded_extrema kernel's doubling passes;
+  // reusing it keeps the banded LB_Improved hot path allocation-free.
+  simd::AlignedVector extrema_work;
 };
+
+/// Pruning threshold for every lower-bound-vs-epsilon screen: a candidate
+/// is dismissed only when its bound exceeds LbPruneThreshold(epsilon), not
+/// epsilon itself. The envelope bounds and the exact kernel accumulate the
+/// same quantities in different floating-point orders (the exact kernel's
+/// canonical block-scan vs the bounds' sums), so a bound that *equals* the
+/// exact distance in real arithmetic — routine for piecewise-constant data,
+/// where the envelope is tight — can land a few ULPs above the computed
+/// exact distance. The relative headroom absorbs that reassociation drift;
+/// candidates inside it fall through to the exact kernel, which decides
+/// membership with the same bits on every engine. The slack is ~1e-12
+/// relative: orders of magnitude above accumulated rounding error, orders
+/// of magnitude below any meaningful distance gap, so pruning power is
+/// unaffected.
+inline Value LbPruneThreshold(Value epsilon) {
+  return epsilon + 1e-12 * (epsilon < 0 ? -epsilon : epsilon);
+}
 
 /// LB_Keogh(Q, S) under `env`'s band: sum over the candidate's elements of
 /// their envelope distance. Always <= D_tw(Q, S) (unconstrained) resp.

@@ -21,7 +21,7 @@ bool RunTable(std::span<const Value> a, std::size_t a_len,
               Value epsilon, bool thresholded, Value* distance, Pos band) {
   TSW_CHECK(a_len > 0 && b_len > 0);
   TSW_CHECK(a.size() == a_len * dim && b.size() == b_len * dim);
-  dtw::WarpingTable table(a_len, band);
+  dtw::WarpingTable table(a_len, band, b_len);
   for (std::size_t y = 0; y < b_len; ++y) {
     const Value* elem = b.data() + y * dim;
     table.PushRowCustom([&](std::size_t x) {

@@ -1,6 +1,7 @@
 #include "multivariate/multi_envelope.h"
 
 #include "common/logging.h"
+#include "dtw/simd.h"
 
 namespace tswarp::mv {
 
@@ -12,10 +13,9 @@ MultiQueryEnvelope::MultiQueryEnvelope(std::span<const Value> query,
   TSW_CHECK(query.size() == query_len * dim);
   dims_.reserve(dim);
   for (std::size_t d = 0; d < dim; ++d) {
-    std::vector<Value> projection(query_len);
-    for (std::size_t x = 0; x < query_len; ++x) {
-      projection[x] = query[x * dim + d];
-    }
+    dtw::simd::AlignedVector projection(query_len);
+    dtw::simd::Kernels().strided_gather(query.data() + d, dim,
+                                        projection.data(), query_len);
     dtw::QueryEnvelope envelope(projection, band);
     dims_.push_back(Dimension{std::move(projection), std::move(envelope)});
   }
@@ -29,9 +29,8 @@ Value MultiLbImproved(const MultiQueryEnvelope& env,
   scratch->candidate_dim.resize(len);
   Value sum = 0.0;
   for (std::size_t d = 0; d < dim; ++d) {
-    for (std::size_t j = 0; j < len; ++j) {
-      scratch->candidate_dim[j] = candidate[j * dim + d];
-    }
+    dtw::simd::Kernels().strided_gather(candidate.data() + d, dim,
+                                        scratch->candidate_dim.data(), len);
     // Remaining dimensions only add cost, so each per-dimension pass may
     // abandon against the budget left after the ones already summed.
     sum += dtw::LbImproved(env.envelope(d), env.query_dim(d),

@@ -41,7 +41,9 @@ class MultiQueryEnvelope {
 
  private:
   struct Dimension {
-    std::vector<Value> query;  // Projection Q_d; owns the envelope's span.
+    // Projection Q_d; owns the envelope's span. Aligned for the SIMD
+    // lower-bound kernels.
+    dtw::simd::AlignedVector query;
     dtw::QueryEnvelope envelope;
   };
 
@@ -51,7 +53,7 @@ class MultiQueryEnvelope {
 
 /// Reusable buffers for MultiLbImproved.
 struct MultiEnvelopeScratch {
-  std::vector<Value> candidate_dim;  // One dimension's projection of S.
+  dtw::simd::AlignedVector candidate_dim;  // One dimension's slice of S.
   dtw::EnvelopeScratch env_scratch;
 };
 

@@ -37,10 +37,17 @@ std::vector<Match> RunDriver(const MultiSequenceDatabase& db,
   core::DriverConfig driver;
   driver.tree = &tree;
   driver.query_length = query_len;
+  // driver.query stays empty: multivariate base distances are not
+  // derivable from a Value span (GridCellModel pushes custom rows).
   driver.sparse = sparse;
   driver.prune = options.prune;
   driver.band = options.band;
   driver.num_threads = options.num_threads;
+  std::size_t max_len = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    max_len = std::max<std::size_t>(max_len, db.Length(id));
+  }
+  driver.depth_hint = max_len;
 
   core::QueryContext ctx(epsilon, knn_k);
   std::optional<MultiQueryEnvelope> envelope;
@@ -101,7 +108,12 @@ std::vector<Match> MultiSeqScan(const MultiSequenceDatabase& db,
                                 Pos band) {
   TSW_CHECK(query_len > 0 && query.size() == query_len * db.dim());
   std::vector<Match> out;
-  dtw::WarpingTable table(query_len, band);
+  std::size_t max_len = 0;
+  for (SeqId id = 0; id < db.size(); ++id) {
+    max_len = std::max<std::size_t>(max_len, db.Length(id));
+  }
+  dtw::WarpingTable table(query_len, band,
+                          std::max<std::size_t>(1, max_len));
   for (SeqId id = 0; id < db.size(); ++id) {
     const Pos n = db.Length(id);
     for (Pos p = 0; p < n; ++p) {

@@ -16,6 +16,10 @@
 //     search driver) is byte-identical to brute-force multivariate DTW
 //     across thread counts, range and k-NN, bands, and with the
 //     per-dimension envelope cascade on or off.
+//  5. Every SIMD backend this machine can run (dtw::simd) returns
+//     byte-identical match sets to the scalar backend across index kinds,
+//     thread counts, and the SeqScan baseline — and identical serial
+//     search stats, so the cascade prunes in exactly the same places.
 //
 // Sequences mix three adversarial shapes: Gaussian random walks, spike
 // trains (flat with rare large jumps — stresses the envelope edges), and
@@ -36,6 +40,7 @@
 #include "core/seq_scan.h"
 #include "dtw/dtw.h"
 #include "dtw/envelope.h"
+#include "dtw/simd.h"
 #include "multivariate/multi_index.h"
 #include "seqdb/sequence_database.h"
 #include "storage/buffer_manager.h"
@@ -441,6 +446,86 @@ TEST(DifferentialTest, MultivariateBandedByteIdentical) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Claim 5: SIMD backends are interchangeable — same matches, same stats.
+// ---------------------------------------------------------------------------
+
+void ExpectStatsEqual(const core::SearchStats& a, const core::SearchStats& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited) << context;
+  EXPECT_EQ(a.rows_pushed, b.rows_pushed) << context;
+  EXPECT_EQ(a.unshared_rows, b.unshared_rows) << context;
+  EXPECT_EQ(a.cells_computed, b.cells_computed) << context;
+  EXPECT_EQ(a.branches_pruned, b.branches_pruned) << context;
+  EXPECT_EQ(a.candidates, b.candidates) << context;
+  EXPECT_EQ(a.endpoint_rejections, b.endpoint_rejections) << context;
+  EXPECT_EQ(a.lb_invocations, b.lb_invocations) << context;
+  EXPECT_EQ(a.lb_pruned, b.lb_pruned) << context;
+  EXPECT_EQ(a.exact_dtw_calls, b.exact_dtw_calls) << context;
+  EXPECT_EQ(a.answers, b.answers) << context;
+}
+
+TEST(DifferentialTest, SimdBackendsByteIdenticalAcrossEnginesAndThreads) {
+  const std::string saved = dtw::simd::ActiveBackend();
+  const std::vector<std::string> backends = dtw::simd::AvailableBackends();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const seqdb::SequenceDatabase db = RandomDb(300 + seed);
+    Rng rng(8000 + seed);
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(2, 10)), seed);
+    const Value eps = rng.Uniform(0.5, 12.0);
+
+    for (const IndexKind kind : {IndexKind::kSuffixTree,
+                                 IndexKind::kCategorized,
+                                 IndexKind::kSparse}) {
+      IndexOptions options;
+      options.kind = kind;
+      options.num_categories = 8;
+      auto index = Index::Build(&db, options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+      // Scalar reference: serial fast path, with stats.
+      ASSERT_TRUE(dtw::simd::SetBackend("scalar"));
+      core::SearchStats ref_stats;
+      const std::vector<Match> reference =
+          index->Search(q, eps, {}, &ref_stats);
+      core::SearchStats ref_knn_stats;
+      const std::vector<Match> knn_reference =
+          index->SearchKnn(q, 7, {}, &ref_knn_stats);
+      const std::vector<Match> scan_reference = core::SeqScan(db, q, eps, {});
+
+      for (const std::string& backend : backends) {
+        ASSERT_TRUE(dtw::simd::SetBackend(backend));
+        const std::string ctx = std::string(core::IndexKindToString(kind)) +
+                                " seed=" + std::to_string(seed) +
+                                " backend=" + backend;
+        core::SearchStats stats;
+        ExpectByteIdentical(reference, index->Search(q, eps, {}, &stats),
+                            "range " + ctx);
+        ExpectStatsEqual(ref_stats, stats, "range stats " + ctx);
+        core::SearchStats knn_stats;
+        ExpectByteIdentical(knn_reference,
+                            index->SearchKnn(q, 7, {}, &knn_stats),
+                            "knn " + ctx);
+        ExpectStatsEqual(ref_knn_stats, knn_stats, "knn stats " + ctx);
+        ExpectByteIdentical(scan_reference, core::SeqScan(db, q, eps, {}),
+                            "seqscan " + ctx);
+        for (const std::size_t threads : {2u, 3u}) {
+          QueryOptions parallel;
+          parallel.num_threads = threads;
+          ExpectByteIdentical(
+              reference, index->Search(q, eps, parallel),
+              "range " + ctx + " threads=" + std::to_string(threads));
+          ExpectByteIdentical(
+              knn_reference, index->SearchKnn(q, 7, parallel),
+              "knn " + ctx + " threads=" + std::to_string(threads));
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(dtw::simd::SetBackend(saved));
 }
 
 TEST(DifferentialTest, SeqScanCascadeByteIdentical) {

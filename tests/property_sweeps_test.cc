@@ -62,7 +62,12 @@ TEST_P(BandedDtwSweep, MatchesIndependentReference) {
     if (std::isinf(expected)) {
       EXPECT_TRUE(std::isinf(actual));
     } else {
-      EXPECT_DOUBLE_EQ(actual, expected);
+      // The production row step uses the canonical block-scan decomposition
+      // (see dtw/simd.h), which reassociates the Definition-2 additions; it
+      // agrees with this sequential reference to a handful of ULPs, not
+      // bit-for-bit, hence the small relative slack (see also
+      // reference_dtw_test.cc).
+      EXPECT_NEAR(actual, expected, 1e-12 * (1.0 + std::fabs(expected)));
     }
   }
 }

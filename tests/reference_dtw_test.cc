@@ -5,6 +5,7 @@
 // that cycle.
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +17,21 @@
 
 namespace tswarp {
 namespace {
+
+/// Tolerance against the textbook reference: the production row step uses
+/// the canonical block-scan decomposition (see dtw/simd.h), which
+/// reassociates the per-cell additions of the Definition-2 recurrence.
+/// The result agrees with the sequential textbook order to a handful of
+/// ULPs (relative error ~1e-15 per row, observed <= ~20 ULPs over deep
+/// tables), not bit-for-bit, so comparisons allow a 1e-12 relative slack —
+/// far above any accumulation the block-scan can produce, far below any
+/// real recurrence bug (a wrong neighbor or base term shifts results by
+/// whole base-distance magnitudes).
+void ExpectNearRelative(Value actual, Value expected,
+                        const std::string& context) {
+  const Value slack = 1e-12 * (1.0 + std::fabs(expected));
+  EXPECT_NEAR(actual, expected, slack) << context;
+}
 
 /// Textbook D_tw (paper Definitions 1-2): gamma(x, y) over a full matrix
 /// with explicit boundary handling; 1-based indices mapped to 0-based.
@@ -62,8 +78,8 @@ TEST(ReferenceDtwTest, DtwDistanceMatchesTextbookImplementation) {
     const int lb = static_cast<int>(rng.UniformInt(1, 15));
     for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(-10, 10));
     for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(-10, 10));
-    ASSERT_DOUBLE_EQ(dtw::DtwDistance(a, b), ReferenceDtw(a, b))
-        << "trial " << trial;
+    ExpectNearRelative(dtw::DtwDistance(a, b), ReferenceDtw(a, b),
+                       "trial " + std::to_string(trial));
   }
 }
 
@@ -79,7 +95,8 @@ TEST(ReferenceDtwTest, PrefixDistancesMatch) {
     dtw::WarpingTable table(a);
     for (std::size_t q = 0; q < b.size(); ++q) {
       table.PushRowValue(b[q]);
-      ASSERT_DOUBLE_EQ(table.LastColumn(), expected[q]);
+      ExpectNearRelative(table.LastColumn(), expected[q],
+                         "prefix " + std::to_string(q));
     }
   }
 }
@@ -92,8 +109,8 @@ TEST(ReferenceDtwTest, MultiDtwDim1MatchesTextbook) {
     const int lb = static_cast<int>(rng.UniformInt(1, 10));
     for (int i = 0; i < la; ++i) a.push_back(rng.Uniform(-5, 5));
     for (int i = 0; i < lb; ++i) b.push_back(rng.Uniform(-5, 5));
-    ASSERT_DOUBLE_EQ(mv::MultiDtwDistance(a, a.size(), b, b.size(), 1),
-                     ReferenceDtw(a, b));
+    ExpectNearRelative(mv::MultiDtwDistance(a, a.size(), b, b.size(), 1),
+                       ReferenceDtw(a, b), "trial " + std::to_string(trial));
   }
 }
 

@@ -116,6 +116,7 @@ TEST(SearchDriverTest, DirectExactModelRunMatchesTreeSearch) {
   DriverConfig driver;
   driver.tree = &tiny.tree;
   driver.query_length = query.size();
+  driver.query = query;  // Univariate models need the bound query span.
   const ExactModel model(query, &tiny.symbol_values);
   for (const std::size_t threads : {0u, 2u}) {
     DriverConfig run = driver;
@@ -140,6 +141,7 @@ TEST(SearchDriverTest, KnnRunThroughContextShrinksThreshold) {
   DriverConfig driver;
   driver.tree = &tiny.tree;
   driver.query_length = query.size();
+  driver.query = query;  // Univariate models need the bound query span.
   const ExactModel model(query, &tiny.symbol_values);
   QueryContext ctx(/*epsilon=*/0.0, /*knn_k=*/3);
   SearchStats stats;

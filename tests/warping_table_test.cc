@@ -1,11 +1,16 @@
 #include "dtw/warping_table.h"
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "dtw/dtw.h"
+#include "dtw/simd.h"
 
 namespace tswarp::dtw {
 namespace {
@@ -172,6 +177,108 @@ TEST(WarpingTableTest, CustomRowsMatchValueRows) {
     EXPECT_DOUBLE_EQ(a.LastColumn(), b.LastColumn());
     EXPECT_DOUBLE_EQ(a.RowMin(), b.RowMin());
   }
+}
+
+TEST(WarpingTableTest, BandExcludesEntireRow) {
+  // With a narrow band, rows far below the diagonal have an empty in-band
+  // column range: the whole row is the +infinity fill, and — because
+  // cumulative distances only grow — every later row is +infinity too.
+  const std::vector<Value> q = {1, 2, 3};
+  WarpingTable table(q, /*band=*/1);
+  std::vector<Value> last, row_min;
+  for (int i = 0; i < 8; ++i) {
+    table.PushRowValue(2.0);
+    last.push_back(table.LastColumn());
+    row_min.push_back(table.RowMin());
+  }
+  // Early rows intersect the band diagonal: some cell is finite.
+  EXPECT_TRUE(std::isfinite(row_min.front()));
+  // Rows past query_len + band lie entirely outside the band: the whole
+  // row is the +infinity fill, and every later row stays +infinity.
+  EXPECT_TRUE(std::isinf(row_min.back()));
+  EXPECT_TRUE(std::isinf(last.back()));
+  bool seen_inf = false;
+  for (const Value m : row_min) {
+    if (std::isinf(m)) seen_inf = true;
+    if (seen_inf) {
+      EXPECT_TRUE(std::isinf(m));
+    }
+  }
+  // Popping back across the all-infinity rows restores the recorded
+  // prefix exactly.
+  while (table.NumRows() > 1) {
+    table.PopRow();
+    EXPECT_DOUBLE_EQ(table.LastColumn(), last[table.NumRows() - 1]);
+    EXPECT_DOUBLE_EQ(table.RowMin(), row_min[table.NumRows() - 1]);
+  }
+}
+
+TEST(WarpingTableTest, PopRowsAcrossBandBoundaries) {
+  // Push/pop interleavings that cross the row where the band window hits
+  // the right edge of the query and the row where it empties entirely:
+  // shared-prefix reuse must be exact across both boundaries.
+  Rng rng(59);
+  const std::vector<Value> q = {4, 1, 7, 3, 9};
+  for (const Pos band : {Pos{1}, Pos{2}, Pos{3}}) {
+    WarpingTable shared(q, band);
+    std::vector<Value> rows;
+    for (int i = 0; i < 12; ++i) {
+      rows.push_back(rng.Uniform(0, 10));
+      shared.PushRowValue(rows.back());
+    }
+    // Pop from beyond the band-empty region back to row 2, then re-push.
+    shared.PopRows(10);
+    ASSERT_EQ(shared.NumRows(), 2u);
+    for (std::size_t i = 2; i < rows.size(); ++i) {
+      shared.PushRowValue(rows[i]);
+      WarpingTable fresh(q, band);
+      for (std::size_t j = 0; j <= i; ++j) fresh.PushRowValue(rows[j]);
+      ASSERT_DOUBLE_EQ(shared.LastColumn(), fresh.LastColumn())
+          << "band " << band << " row " << i;
+      ASSERT_DOUBLE_EQ(shared.RowMin(), fresh.RowMin());
+    }
+  }
+}
+
+TEST(WarpingTableTest, TableResultsBitwiseEqualAcrossSimdBackends) {
+  // End-to-end check of the canonical-dataflow contract (simd.h): whole
+  // tables — banded and not, value and interval rows — produce bitwise
+  // identical per-row results on every backend this machine can run.
+  Rng rng(61);
+  const std::string saved = simd::ActiveBackend();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Value> q;
+    const int lq = static_cast<int>(rng.UniformInt(1, 20));
+    for (int i = 0; i < lq; ++i) q.push_back(rng.Uniform(0, 10));
+    const Pos band = rng.Coin(0.5) ? static_cast<Pos>(rng.UniformInt(1, 6))
+                                   : Pos{0};
+    std::vector<Value> rows;
+    for (int i = 0; i < 15; ++i) rows.push_back(rng.Uniform(0, 10));
+
+    std::vector<std::uint64_t> want;
+    bool first = true;
+    for (const std::string& backend : simd::AvailableBackends()) {
+      ASSERT_TRUE(simd::SetBackend(backend));
+      std::vector<std::uint64_t> got;
+      WarpingTable exact(q, band);
+      WarpingTable interval(q, band);
+      for (const Value v : rows) {
+        exact.PushRowValue(v);
+        interval.PushRowInterval(v - 0.5, v + 0.5);
+        got.push_back(std::bit_cast<std::uint64_t>(exact.LastColumn()));
+        got.push_back(std::bit_cast<std::uint64_t>(exact.RowMin()));
+        got.push_back(std::bit_cast<std::uint64_t>(interval.LastColumn()));
+        got.push_back(std::bit_cast<std::uint64_t>(interval.RowMin()));
+      }
+      if (first) {
+        want = got;
+        first = false;
+      } else {
+        ASSERT_EQ(want, got) << "backend " << backend << " trial " << trial;
+      }
+    }
+  }
+  ASSERT_TRUE(simd::SetBackend(saved));
 }
 
 TEST(WarpingTableTest, BandedTableMatchesBandedDistance) {

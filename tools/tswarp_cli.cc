@@ -20,6 +20,7 @@
 
 #include "core/index.h"
 #include "core/seq_scan.h"
+#include "dtw/simd.h"
 #include "storage/buffer_manager.h"
 #include "datagen/generators.h"
 #include "multivariate/multi_index.h"
@@ -121,7 +122,10 @@ int Usage() {
                "--multi D reads DB as D-dimensional sequences (flattened "
                "element-major; every sequence and the query must have a "
                "multiple of D values). --kind stc = dense grid index, "
-               "sstc = sparse; st has no multivariate analogue.\n");
+               "sstc = sparse; st has no multivariate analogue.\n"
+               "--simd avx2|sse2|neon|scalar (any command) pins the DTW "
+               "kernel backend, overriding auto-detection and the "
+               "TSWARP_SIMD environment variable.\n");
   return 2;
 }
 
@@ -629,6 +633,17 @@ int CmdDot(int argc, char** argv) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (const char* simd = FlagValue(argc, argv, "--simd", nullptr)) {
+    if (!dtw::simd::SetBackend(simd)) {
+      std::fprintf(stderr, "--simd %s: unknown or unavailable backend "
+                   "(available:", simd);
+      for (const std::string& b : dtw::simd::AvailableBackends()) {
+        std::fprintf(stderr, " %s", b.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+  }
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(argc, argv);
   if (cmd == "info") return CmdInfo(argc, argv);
