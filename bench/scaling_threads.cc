@@ -104,6 +104,12 @@ int Run(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // Environment stamp: speedups from this file only make sense relative
+  // to the core count of the machine that produced them.
+  report.Add("env/hardware_threads", 0.0,
+             {{"hardware_threads",
+               static_cast<double>(ThreadPool::HardwareThreads())}});
+
   std::vector<IndexKind> kinds = {IndexKind::kCategorized, IndexKind::kSparse};
   if (include_st) kinds.insert(kinds.begin(), IndexKind::kSuffixTree);
   for (const IndexKind kind : kinds) {
@@ -124,10 +130,14 @@ int Run(int argc, char** argv) {
       const double intra = AvgQuerySeconds(*index, queries, epsilon, t);
       const double batch = BatchSeconds(*index, queries, epsilon, t);
       std::printf(" %7.2fx %7.2fx", serial / intra, serial / batch);
+      // efficiency = speedup / threads: 1.0 is perfect scaling, and the
+      // ceiling drops to hardware_threads / t once t oversubscribes.
       report.Add(kind_name + "/query@" + std::to_string(t), intra * 1e9,
-                 {{"speedup", serial / intra}});
+                 {{"speedup", serial / intra},
+                  {"efficiency", serial / intra / static_cast<double>(t)}});
       report.Add(kind_name + "/batch@" + std::to_string(t), batch * 1e9,
-                 {{"speedup", serial / batch}});
+                 {{"speedup", serial / batch},
+                  {"efficiency", serial / batch / static_cast<double>(t)}});
     }
     std::printf("\n");
   }
@@ -190,7 +200,10 @@ int Run(int argc, char** argv) {
         std::printf(" %7.2fx", serial / batch);
         report.Add(std::string("disk/") + pool.name + "/batch@" +
                        std::to_string(t),
-                   batch * 1e9, {{"speedup", serial / batch}});
+                   batch * 1e9,
+                   {{"speedup", serial / batch},
+                    {"efficiency",
+                     serial / batch / static_cast<double>(t)}});
       }
       const auto stats = index->PoolStats();
       std::printf(" %10llu\n",

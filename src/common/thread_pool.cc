@@ -1,76 +1,20 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <utility>
+#include <thread>
 
 #include "common/logging.h"
 
 namespace tswarp {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(std::min(num_threads, kMaxThreads)) {
   TSW_CHECK(num_threads >= 1);
-  num_threads = std::min(num_threads, kMaxThreads);
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
-    shutdown_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    TSW_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
-    ++in_flight_;
-  }
-  work_cv_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_exception_ != nullptr) {
-    std::exception_ptr e = std::exchange(first_exception_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(e);
-  }
+  TaskScheduler::Get().EnsureWorkers(num_threads_);
 }
 
 std::size_t ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
-}
-
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown_ with a drained queue.
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (first_exception_ == nullptr) {
-        first_exception_ = std::current_exception();
-      }
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--in_flight_ == 0) idle_cv_.notify_all();
-  }
 }
 
 }  // namespace tswarp

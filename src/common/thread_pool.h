@@ -1,64 +1,61 @@
 #ifndef TSWARP_COMMON_THREAD_POOL_H_
 #define TSWARP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "common/task_scheduler.h"
 
 namespace tswarp {
 
-/// Fixed-size worker pool with a FIFO task queue. Used by the parallel
-/// searchers (core/tree_search, core/index SearchBatch) and available to
-/// future build/merge parallelism.
+/// Compatibility shim over the shared work-stealing TaskScheduler. The
+/// original ThreadPool spawned `num_threads` OS threads per instance —
+/// one pool per search, which is exactly the per-query thread-creation
+/// tax the persistent scheduler removes. The shim keeps the old contract
+/// (a pool object with Submit/Wait and exception propagation) but maps it
+/// onto one TaskScope: construction merely ensures the process-wide pool
+/// has at least `num_threads` workers; no threads are created when the
+/// scheduler is already warm.
 ///
-/// Exception contract: if a task throws, the first exception is captured
-/// and rethrown from Wait() (or the destructor's implicit Wait); remaining
-/// queued tasks still run. Submitting from inside a task is legal.
+/// Exception contract (unchanged): if a task throws, the first exception
+/// is captured and rethrown from Wait() (or swallowed by the destructor's
+/// implicit Wait); remaining queued tasks still run. Submitting from
+/// inside a task is legal.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1). Requests beyond kMaxThreads —
-  /// usually a negative count cast to size_t — are clamped rather than
-  /// allowed to exhaust the process.
+  /// Ensures >= min(num_threads, TaskScheduler::kMaxWorkers) persistent
+  /// workers exist (>= 1 required). Requests beyond kMaxThreads — usually
+  /// a negative count cast to size_t — are clamped rather than allowed to
+  /// exhaust the process.
   explicit ThreadPool(std::size_t num_threads);
 
   static constexpr std::size_t kMaxThreads = 1024;
 
-  /// Waits for all pending tasks, then joins the workers. Swallows any
-  /// pending task exception (call Wait() first to observe it).
-  ~ThreadPool();
+  /// Waits for all pending tasks. Swallows any pending task exception
+  /// (call Wait() first to observe it). The shared workers live on.
+  ~ThreadPool() = default;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` for execution on the shared scheduler.
+  void Submit(std::function<void()> task) { scope_.Submit(std::move(task)); }
 
-  /// Blocks until every submitted task has finished, then rethrows the
-  /// first exception any task raised (clearing it). The pool is reusable
-  /// after Wait().
-  void Wait();
+  /// Blocks until every submitted task has finished (helping to execute
+  /// queued tasks meanwhile), then rethrows the first exception any task
+  /// raised (clearing it). The pool is reusable after Wait().
+  void Wait() { scope_.Wait(); }
 
-  std::size_t num_threads() const { return workers_.size(); }
+  /// The clamped thread count this pool was asked for. The scheduler may
+  /// run more workers than this if another caller asked for more.
+  std::size_t num_threads() const { return num_threads_; }
 
   /// std::thread::hardware_concurrency() with a floor of 1.
   static std::size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // Signals workers: task or shutdown.
-  std::condition_variable idle_cv_;   // Signals Wait(): everything drained.
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;         // Queued + currently running tasks.
-  bool shutdown_ = false;
-  std::exception_ptr first_exception_;
-  std::vector<std::thread> workers_;
+  std::size_t num_threads_;
+  TaskScope scope_;
 };
 
 }  // namespace tswarp

@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/dictionary.h"
 
 namespace tswarp::core {
@@ -312,19 +312,20 @@ std::vector<std::vector<Match>> Index::SearchBatch(
     return results;
   }
 
-  ThreadPool pool(query_options.num_threads);
-  std::atomic<std::size_t> next{0};
-  for (std::size_t w = 0; w < pool.num_threads(); ++w) {
-    pool.Submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= results.size()) break;
-        results[i] = Search(queries[i], epsilon_for(i), per_query,
-                            stats != nullptr ? &(*stats)[i] : nullptr);
-      }
+  // Batch coalescing: one fork/join scope on the shared work-stealing
+  // scheduler, one task per query. Idle workers steal whole queries first;
+  // stealing *within* a query would need per-query parallel mode, which is
+  // deliberately off here so each query's stats stay bit-identical to its
+  // serial run (per_query.num_threads == 0 above).
+  TaskScheduler::Get().EnsureWorkers(query_options.num_threads);
+  TaskScope scope;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    scope.Submit([&, i] {
+      results[i] = Search(queries[i], epsilon_for(i), per_query,
+                          stats != nullptr ? &(*stats)[i] : nullptr);
     });
   }
-  pool.Wait();
+  scope.Wait();
   return results;
 }
 

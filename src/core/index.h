@@ -85,9 +85,11 @@ struct QueryOptions {
   /// hook, see bench/ablation_lowerbound and docs/tuning.md).
   bool use_lower_bound = true;
   /// Worker threads. 0 = serial (the original single-threaded traversal).
-  /// For Search/SearchKnn, >= 1 parallelizes one query's tree traversal
-  /// across branch tasks; for SearchBatch it sizes the pool that fans
-  /// independent queries out. Results are identical to serial either way.
+  /// >= 1 ensures the process-wide work-stealing scheduler has at least
+  /// that many persistent workers. For Search/SearchKnn the traversal
+  /// splits lazily into branch tasks as idle workers ask for work; for
+  /// SearchBatch independent queries fan out as one task each. Results
+  /// are identical to serial either way.
   std::size_t num_threads = 0;
 };
 
@@ -127,10 +129,11 @@ class Index {
                                const QueryOptions& query_options = {},
                                SearchStats* stats = nullptr) const;
 
-  /// Runs one range search per query, fanning the (independent) queries
-  /// across a thread pool of query_options.num_threads workers; each query
-  /// itself runs serially, so per-query results and stats are bit-identical
-  /// to Search(). `epsilons` holds either one shared threshold or one per
+  /// Runs one range search per query, coalescing the (independent)
+  /// queries into one fork/join scope on the shared work-stealing
+  /// scheduler (>= query_options.num_threads workers); each query itself
+  /// runs serially, so per-query results and stats are bit-identical to
+  /// Search(). `epsilons` holds either one shared threshold or one per
   /// query. When `stats` is non-null it is resized to one entry per query.
   /// num_threads == 0 degenerates to a serial loop over Search().
   std::vector<std::vector<Match>> SearchBatch(

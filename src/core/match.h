@@ -58,6 +58,17 @@ struct SearchStats {
   // cells_computed == rows_pushed * |Q| relaxes to
   // (rows_pushed + replayed_rows) * |Q| when replayed_rows > 0.
   std::uint64_t replayed_rows = 0;
+  // Work-stealing scheduler counters; all 0 in serial searches.
+  std::uint64_t tasks_executed = 0;  // Branch tasks run for this query.
+  // Tasks executed by a thread other than the one that submitted them
+  // (includes the externally injected root task when a pool worker takes
+  // it, so parallel searches always report at least 1).
+  std::uint64_t tasks_stolen = 0;
+  // Steal probes (deque inspections) observed process-wide during this
+  // query's window. Unlike every other counter this is not attributed
+  // per-query: concurrent searches on the shared scheduler inflate each
+  // other's windows. Useful as a contention signal, not an exact count.
+  std::uint64_t steal_attempts = 0;
 
   /// Accumulates another worker's counters into this one.
   void Merge(const SearchStats& other) {
@@ -73,6 +84,9 @@ struct SearchStats {
     exact_dtw_calls += other.exact_dtw_calls;
     answers += other.answers;
     replayed_rows += other.replayed_rows;
+    tasks_executed += other.tasks_executed;
+    tasks_stolen += other.tasks_stolen;
+    steal_attempts += other.steal_attempts;
   }
 };
 

@@ -30,7 +30,11 @@ bool KnnMatchLess(const Match& a, const Match& b);
 ///
 /// epsilon() is the current pruning threshold either way. It is atomic
 /// and monotonically non-increasing, so a stale read by a concurrent
-/// worker only weakens pruning, never correctness.
+/// worker only weakens pruning, never correctness. Parallel tree workers
+/// lean on that monotonicity harder still: they prune against a local
+/// *cached* copy of the threshold, refreshed periodically and after
+/// their own reports (see the driver's EpsMode), so the hot loop does
+/// not re-read this cache line on every row.
 class ResultCollector {
  public:
   ResultCollector(Value epsilon, std::size_t knn_k)

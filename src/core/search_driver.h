@@ -4,15 +4,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/types.h"
 #include "core/match.h"
 #include "core/result_collector.h"
@@ -57,7 +59,7 @@ namespace tswarp::core {
 ///     /// <= eps, setting *distance; bumps the cascade counters in
 ///     /// *stats. Never called when kExactRows. Models carry their own
 ///     /// scratch, so VerifyExact may be non-const; the driver copies the
-///     /// model prototype once per worker.
+///     /// model prototype once per executing thread.
 ///     bool VerifyExact(SeqId seq, Pos start, Pos len, Value eps,
 ///                      SearchStats* stats, Value* distance);
 ///   };
@@ -65,9 +67,9 @@ namespace tswarp::core {
 /// Four instantiations cover the repo: ExactModel (symbol values),
 /// CategoryModel (D_tw-lb intervals), SparseCategoryModel (D_tw-lb +
 /// D_tw-lb2 recovery), and the multivariate GridCellModel. One kernel
-/// means every capability — Theorem-1 pruning, the task-parallel engine,
-/// k-NN branch-and-bound, Sakoe-Chiba bands, the envelope cascade —
-/// reaches all of them at once.
+/// means every capability — Theorem-1 pruning, the work-stealing parallel
+/// engine, k-NN branch-and-bound, Sakoe-Chiba bands, the envelope cascade
+/// — reaches all of them at once.
 struct DriverConfig {
   const suffixtree::TreeView* tree = nullptr;
 
@@ -97,10 +99,14 @@ struct DriverConfig {
   /// band moves with the dropped leading symbols.
   Pos band = 0;
 
-  /// Worker threads for one search. 0 = fully serial (single-table DFS);
-  /// >= 1 decomposes the traversal into branch tasks executed on a
-  /// ThreadPool of that many workers. Results are identical to serial for
-  /// both range and k-NN searches (see docs/parallel_search.md).
+  /// Parallelism for one search. 0 = fully serial (single-table DFS, no
+  /// scheduler involvement); >= 1 ensures the process-wide work-stealing
+  /// scheduler has at least that many persistent workers and runs the
+  /// traversal on it with lazy task splitting — the DFS owner splits off
+  /// unexplored sibling edges only when an idle thread asks. No OS thread
+  /// is created per search once the scheduler is warm. Results are
+  /// identical to serial for both range and k-NN searches (see
+  /// docs/parallel_search.md).
   std::size_t num_threads = 0;
 };
 
@@ -108,11 +114,9 @@ struct DriverConfig {
 /// shrinking threshold and result set (collector), the merged traversal
 /// stats, and the query envelope slot of the univariate lower-bound
 /// cascade. Models with a different envelope type (the multivariate
-/// per-dimension set) own theirs alongside the context. Worker arenas —
-/// the warping-table row pool, the lower-bound scratch, the traversal
-/// buffers — are created once per worker and reused across every branch
-/// task that worker executes, so the hot path performs no per-task
-/// allocations once warmed up.
+/// per-dimension set) own theirs alongside the context. `stats` is
+/// written only single-threaded: serially, or at join time when the
+/// per-thread worker slots are drained — no mutex on the merge path.
 class QueryContext {
  public:
   QueryContext(Value epsilon, std::size_t knn_k)
@@ -128,32 +132,109 @@ class QueryContext {
 
   ResultCollector collector;
 
-  std::mutex stats_mu;
-  SearchStats stats;  // Guarded by stats_mu; merged per worker at drain.
+  /// Merged traversal stats. Serial searches write it directly; parallel
+  /// searches merge the per-thread worker slots into it after the task
+  /// scope joins, so no concurrent access ever happens.
+  SearchStats stats;
 };
 
-/// One unit of parallel work: process edge `edge_index` of `node` — push
-/// its label rows, emit candidates, prune — and, when `descend`, the whole
-/// subtree below it. `prefix` holds the symbols on the root-to-`node` path;
-/// a worker replays them into its private table (no emission: the rows were
-/// already evaluated by the task owning the ancestor edge) so depths, the
-/// Sakoe-Chiba band, and Theorem-1 pruning see the true distance table.
+/// One unit of parallel work: process edges [edge_lo, edge_hi) of `node`
+/// — push their label rows, emit candidates, prune — and every subtree
+/// below them. `prefix` holds the symbols on the root-to-`node` path
+/// (nullptr = the node is the root); an executing thread replays them
+/// into its table (no emission: those rows were already evaluated by the
+/// task that split this one off) so depths, the Sakoe-Chiba band, and
+/// Theorem-1 pruning see the true distance table. The prefix buffer is
+/// shared, never copied per task: a split at the task's own start node
+/// reuses the parent task's buffer, and deeper splits materialize one new
+/// buffer from the live frame stack.
 struct BranchTask {
-  std::vector<Symbol> prefix;
+  static constexpr std::uint32_t kAllEdges =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::shared_ptr<const std::vector<Symbol>> prefix;
   suffixtree::NodeId node = 0;
-  std::uint32_t edge_index = 0;
-  bool descend = true;
+  std::uint32_t edge_lo = 0;
+  std::uint32_t edge_hi = kAllEdges;
   /// D_base-lb(Q[1], first path symbol), fixed at the root branch
   /// (Definition 4); only read when `prefix` is non-empty.
   Value first_lb = 0.0;
 };
 
+/// Reusable per-thread worker arena: the cumulative warping table (the
+/// dominant allocation — depth_hint * |Q| cells) plus the traversal
+/// buffers. Arenas are cached per thread keyed by the table shape, so a
+/// batch of same-length queries reuses warm tables across queries and
+/// the hot path performs no allocations once the cache is primed.
+struct SearchArena {
+  SearchArena(std::size_t query_length, Pos band, std::size_t depth_hint)
+      : table(query_length, band, depth_hint),
+        key_query_length(query_length),
+        key_band(band),
+        key_depth_hint(depth_hint) {}
+
+  bool Matches(std::size_t query_length, Pos band,
+               std::size_t depth_hint) const {
+    return key_query_length == query_length && key_band == band &&
+           key_depth_hint == depth_hint;
+  }
+
+  dtw::WarpingTable table;
+  std::vector<suffixtree::OccurrenceRec> occ_buf;
+  suffixtree::SubtreeScratch occ_scratch;
+  // Per-depth children buffers, reused across traversals so descending
+  // performs no per-node allocations once warmed up.
+  std::vector<suffixtree::Children> children_stack;
+
+  std::size_t key_query_length;
+  Pos key_band;
+  std::size_t key_depth_hint;
+};
+
+namespace internal {
+
+/// Thread-local arena cache shared by Acquire/Release below. A handful of
+/// entries suffices: distinct shapes in flight on one thread are rare
+/// (different query lengths in one interleaved batch).
+inline constexpr std::size_t kMaxCachedArenas = 4;
+
+inline std::vector<std::unique_ptr<SearchArena>>& ThreadArenaCache() {
+  thread_local std::vector<std::unique_ptr<SearchArena>> cache;
+  return cache;
+}
+
+}  // namespace internal
+
+/// Pops a shape-matching arena from the calling thread's cache, or builds
+/// a fresh one. Each thread touches only its own cache: no locks, and an
+/// arena is only ever used by the thread that acquired it.
+inline std::unique_ptr<SearchArena> AcquireSearchArena(
+    std::size_t query_length, Pos band, std::size_t depth_hint) {
+  auto& cache = internal::ThreadArenaCache();
+  for (auto it = cache.begin(); it != cache.end(); ++it) {
+    if ((*it)->Matches(query_length, band, depth_hint)) {
+      std::unique_ptr<SearchArena> arena = std::move(*it);
+      cache.erase(it);
+      return arena;
+    }
+  }
+  return std::make_unique<SearchArena>(query_length, band, depth_hint);
+}
+
+/// Returns an arena to the calling thread's cache, evicting the oldest
+/// entry beyond the cap.
+inline void ReleaseSearchArena(std::unique_ptr<SearchArena> arena) {
+  auto& cache = internal::ThreadArenaCache();
+  if (cache.size() >= internal::kMaxCachedArenas) cache.erase(cache.begin());
+  cache.push_back(std::move(arena));
+}
+
 template <typename Model>
 class SearchDriver {
  public:
   /// `config` and `model` must outlive the driver; `model` is the
-  /// prototype copied once per worker (copies carry the per-worker
-  /// verification scratch).
+  /// prototype copied once per executing thread (copies carry the
+  /// per-thread verification scratch).
   SearchDriver(const DriverConfig& config, const Model& model)
       : config_(config), model_(model) {
     TSW_CHECK(config.tree != nullptr);
@@ -168,27 +249,27 @@ class SearchDriver {
   /// and returns the sorted answers; fills *stats when non-null.
   std::vector<Match> Run(QueryContext* ctx, SearchStats* stats) {
     if (config_.num_threads == 0) {
-      Worker worker(config_, model_, ctx);
-      worker.RunWholeTree();
-      worker.Drain();
+      Worker worker(config_, model_, ctx, /*parallel=*/false);
+      BranchTask root;
+      root.node = config_.tree->Root();
+      worker.RunTask(root, nullptr);
+      worker.Drain(ctx);
     } else {
-      const std::vector<BranchTask> tasks =
-          EnumerateTasks(/*target=*/config_.num_threads * 4);
-      ThreadPool pool(config_.num_threads);
-      std::atomic<std::size_t> next_task{0};
-      for (std::size_t w = 0; w < config_.num_threads; ++w) {
-        pool.Submit([this, ctx, &tasks, &next_task] {
-          Worker worker(config_, model_, ctx);
-          for (;;) {
-            const std::size_t i =
-                next_task.fetch_add(1, std::memory_order_relaxed);
-            if (i >= tasks.size()) break;
-            worker.RunTask(tasks[i]);
-          }
-          worker.Drain();
-        });
-      }
-      pool.Wait();
+      TaskScheduler& scheduler = TaskScheduler::Get();
+      scheduler.EnsureWorkers(config_.num_threads);
+      const std::uint64_t probes_before = scheduler.steal_attempts();
+      ParallelState par(config_, model_, ctx);
+      BranchTask root;
+      root.node = config_.tree->Root();
+      par.Submit(std::move(root));
+      par.scope.Wait();  // Rethrows the first task exception, if any.
+      par.DrainAll(ctx);
+      ctx->stats.tasks_executed += par.scope.tasks_executed();
+      ctx->stats.tasks_stolen += par.scope.tasks_stolen();
+      // Process-wide probe delta over the query window; concurrent
+      // unrelated searches share the counter (documented in match.h).
+      ctx->stats.steal_attempts +=
+          scheduler.steal_attempts() - probes_before;
     }
 
     std::vector<Match> answers = ctx->collector.Take();
@@ -202,92 +283,183 @@ class SearchDriver {
   using NodeId = suffixtree::NodeId;
   using OccurrenceRec = suffixtree::OccurrenceRec;
 
-  /// Per-worker search state: a private cumulative table, reusable
-  /// traversal buffers, a private model copy (verification scratch),
-  /// private stats, and (range mode) a private answer vector that is
-  /// appended to the shared state once, when the worker drains. Serial
-  /// searches use one worker and therefore identical semantics.
+  struct ParallelState;
+
+  /// Per-(query, executing thread) search state: a private model copy
+  /// (verification scratch), private stats, an epsilon cache, and (range
+  /// mode) a private answer vector published once at drain. The heavy
+  /// arena (table + traversal buffers) is borrowed from the thread-local
+  /// cache for each task, so it is reused across queries, not just across
+  /// this query's tasks. Serial searches use one worker and therefore
+  /// identical semantics.
   class Worker {
    public:
     Worker(const DriverConfig& config, const Model& prototype,
-           QueryContext* ctx)
+           QueryContext* ctx, bool parallel)
         : config_(config),
           model_(prototype),
-          ctx_(*ctx),
           collector_(ctx->collector),
-          table_(config.query_length, config.band,
-                 config.depth_hint != 0
-                     ? config.depth_hint
-                     : dtw::WarpingTable::kDefaultDepthHint) {
-      if (!config.query.empty()) table_.BindQuery(config.query);
-    }
+          eps_mode_(!ctx->collector.knn() ? EpsMode::kFixed
+                    : parallel            ? EpsMode::kCached
+                                          : EpsMode::kExact),
+          eps_cache_(ctx->collector.epsilon()) {}
 
-    /// Serial entry point: the whole traversal from the root.
-    void RunWholeTree() {
-      RunSpan(config_.tree->Root(), /*first_lb=*/0.0, 0,
-              std::numeric_limits<std::size_t>::max(),
-              /*descend_bottom=*/true);
-    }
-
-    void RunTask(const BranchTask& task) {
-      table_.Reset();
-      for (const Symbol sym : task.prefix) {
-        model_.RowStep(&table_, sym);
-        ++stats_.replayed_rows;
+    /// Executes one branch task: replay the prefix, then traverse the
+    /// edge range. `par` enables lazy splitting (nullptr = serial).
+    void RunTask(const BranchTask& task, ParallelState* par) {
+      std::unique_ptr<SearchArena> arena = AcquireSearchArena(
+          config_.query_length, config_.band, ResolvedDepthHint());
+      struct Return {  // Release even if a model verification throws.
+        std::unique_ptr<SearchArena>& a;
+        ~Return() { ReleaseSearchArena(std::move(a)); }
+      } release{arena};
+      dtw::WarpingTable& table = arena->table;
+      table.Reset();
+      if (!config_.query.empty()) table.BindQuery(config_.query);
+      const std::uint64_t cells_before = table.cells_computed();
+      if (task.prefix != nullptr) {
+        for (const Symbol sym : *task.prefix) {
+          model_.RowStep(&table, sym);
+          ++stats_.replayed_rows;
+        }
       }
-      RunSpan(task.node, task.first_lb, task.edge_index,
-              task.edge_index + 1, task.descend);
+      RunSpan(*arena, task, par);
+      stats_.cells_computed += table.cells_computed() - cells_before;
     }
 
     /// Publishes this worker's answers and stats into the shared state.
-    void Drain() {
-      stats_.cells_computed = table_.cells_computed();
+    /// Called single-threaded (serially, or after the scope joined).
+    void Drain(QueryContext* ctx) {
       collector_.DrainRange(&answers_);
-      std::lock_guard<std::mutex> lock(ctx_.stats_mu);
-      ctx_.stats.Merge(stats_);
+      ctx->stats.Merge(stats_);
     }
 
    private:
+    /// Refresh the cached k-NN epsilon from the shared atomic once per
+    /// this many Eps() polls. Staleness only loosens pruning (the shared
+    /// threshold shrinks monotonically), never correctness.
+    static constexpr std::uint32_t kEpsRefreshPolls = 64;
+
+    enum class EpsMode {
+      kFixed,   // Range mode: the threshold never changes — no loads.
+      kExact,   // Serial k-NN: always read the shared atomic.
+      kCached,  // Parallel k-NN: cached, refreshed periodically.
+    };
+
     struct Frame {
       NodeId node;
       Value first_lb;          // Inherited branch first-symbol lower bound.
       std::size_t edge = 0;    // Next edge index to process.
       std::size_t pushed = 0;  // Rows pushed for the edge being descended.
+      std::size_t limit = 0;   // One past the last edge this task owns.
     };
 
-    Value Eps() const { return collector_.epsilon(); }
-
-    Children& ChildrenAt(std::size_t depth) {
-      if (children_stack_.size() <= depth) children_stack_.resize(depth + 1);
-      return children_stack_[depth];
+    std::size_t ResolvedDepthHint() const {
+      return config_.depth_hint != 0 ? config_.depth_hint
+                                     : dtw::WarpingTable::kDefaultDepthHint;
     }
 
-    void PushFrame(NodeId node, Value first_lb, std::size_t edge_lo) {
-      // A node's visit is attributed to the frame starting at its first
+    Value Eps() {
+      switch (eps_mode_) {
+        case EpsMode::kFixed:
+          return eps_cache_;
+        case EpsMode::kExact:
+          return collector_.epsilon();
+        case EpsMode::kCached:
+          if (++eps_polls_ >= kEpsRefreshPolls) {
+            eps_polls_ = 0;
+            eps_cache_ = collector_.epsilon();
+          }
+          return eps_cache_;
+      }
+      return eps_cache_;
+    }
+
+    Children& ChildrenAt(SearchArena& arena, std::size_t depth) {
+      if (arena.children_stack.size() <= depth) {
+        arena.children_stack.resize(depth + 1);
+      }
+      return arena.children_stack[depth];
+    }
+
+    void PushFrame(SearchArena& arena, NodeId node, Value first_lb,
+                   std::size_t edge_lo, std::size_t edge_hi) {
+      // A node's visit is attributed to the task starting at its first
       // edge, so nodes split across branch tasks are still counted once.
       if (edge_lo == 0) ++stats_.nodes_visited;
-      frames_.push_back({node, first_lb, edge_lo, 0});
-      config_.tree->GetChildren(node, &ChildrenAt(frames_.size() - 1));
+      frames_.push_back({node, first_lb, edge_lo, 0, 0});
+      Children& children = ChildrenAt(arena, frames_.size() - 1);
+      config_.tree->GetChildren(node, &children);
+      frames_.back().limit = std::min(edge_hi, children.edges.size());
     }
 
-    /// Iterative DFS: processes edges [edge_lo, edge_hi) of `start`
-    /// (descending below them only when `descend_bottom`); every deeper
-    /// node is traversed in full.
-    void RunSpan(NodeId start, Value first_lb, std::size_t edge_lo,
-                 std::size_t edge_hi, bool descend_bottom) {
+    /// Builds the root-to-node prefix of frame `i` for a split task: the
+    /// current task's prefix plus the labels of the edges this traversal
+    /// descended through below it. Frame 0 shares the current buffer
+    /// outright — no copy.
+    std::shared_ptr<const std::vector<Symbol>> MaterializePrefix(
+        const SearchArena& arena, std::size_t i) const {
+      if (i == 0) return current_prefix_;
+      auto out = std::make_shared<std::vector<Symbol>>();
+      std::size_t total =
+          current_prefix_ != nullptr ? current_prefix_->size() : 0;
+      for (std::size_t j = 0; j < i; ++j) {
+        const Children& c = arena.children_stack[j];
+        total += c.Label(c.edges[frames_[j].edge]).size();
+      }
+      out->reserve(total);
+      if (current_prefix_ != nullptr) {
+        out->insert(out->end(), current_prefix_->begin(),
+                    current_prefix_->end());
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const Children& c = arena.children_stack[j];
+        const std::span<const Symbol> label =
+            c.Label(c.edges[frames_[j].edge]);
+        out->insert(out->end(), label.begin(), label.end());
+      }
+      return out;
+    }
+
+    /// Lazy split: hand an idle thread the unexplored sibling edges of
+    /// the *shallowest* frame that still has any — the largest chunk of
+    /// remaining work, one task, one GetChildren-free handoff. The
+    /// owner's frame is truncated so every edge stays owned by exactly
+    /// one task; replay cost is paid only on this actual steal.
+    void TrySplit(SearchArena& arena, ParallelState* par) {
+      for (std::size_t i = 0; i < frames_.size(); ++i) {
+        Frame& f = frames_[i];
+        if (f.edge + 1 >= f.limit) continue;
+        BranchTask task;
+        task.prefix = MaterializePrefix(arena, i);
+        task.node = f.node;
+        task.edge_lo = static_cast<std::uint32_t>(f.edge + 1);
+        task.edge_hi = static_cast<std::uint32_t>(f.limit);
+        task.first_lb = f.first_lb;
+        f.limit = f.edge + 1;
+        par->Submit(std::move(task));
+        return;
+      }
+    }
+
+    /// Iterative DFS over the task's edge range; every deeper node is
+    /// traversed in full (unless split off to a thief mid-walk).
+    void RunSpan(SearchArena& arena, const BranchTask& task,
+                 ParallelState* par) {
+      dtw::WarpingTable& table = arena.table;
       frames_.clear();
-      PushFrame(start, first_lb, edge_lo);
+      current_prefix_ = task.prefix;
+      PushFrame(arena, task.node, task.first_lb, task.edge_lo, task.edge_hi);
       while (!frames_.empty()) {
+        // The lazy-split poll: one relaxed load per DFS step. Only when
+        // some thread is idle does the owner materialize a task.
+        if (par != nullptr && par->scope.WantsWork()) TrySplit(arena, par);
         Frame& f = frames_.back();
-        Children& children = ChildrenAt(frames_.size() - 1);
-        const bool bottom = frames_.size() == 1;
-        const std::size_t limit =
-            bottom ? std::min(edge_hi, children.edges.size())
-                   : children.edges.size();
-        if (f.edge >= limit) {
+        Children& children = ChildrenAt(arena, frames_.size() - 1);
+        if (f.edge >= f.limit) {
           frames_.pop_back();
           if (!frames_.empty()) {
-            table_.PopRows(frames_.back().pushed);
+            table.PopRows(frames_.back().pushed);
             frames_.back().pushed = 0;
             ++frames_.back().edge;
           }
@@ -296,7 +468,7 @@ class SearchDriver {
 
         const Children::Edge& edge = children.edges[f.edge];
         const std::span<const Symbol> label = children.Label(edge);
-        const bool at_root = table_.Empty();
+        const bool at_root = table.Empty();
         Value branch_first_lb = f.first_lb;
         if (at_root) branch_first_lb = model_.FirstRowLb(label.front());
         // The sparse pruning discount: a non-stored suffix under this
@@ -314,24 +486,24 @@ class SearchDriver {
         bool descend = true;
         // Occurrences below this edge are the same at every depth along
         // it; collect them at most once per edge.
-        occ_buf_.clear();
+        arena.occ_buf.clear();
         bool occ_collected = false;
         for (const Symbol sym : label) {
-          model_.RowStep(&table_, sym);
+          model_.RowStep(&table, sym);
           ++pushed;
           ++stats_.rows_pushed;
           stats_.unshared_rows += config_.tree->SubtreeOccCount(edge.child);
-          const Value dist = table_.LastColumn();
+          const Value dist = table.LastColumn();
           if (dist <= Eps() ||
               (config_.sparse && dist - discount <= Eps())) {
             if (!occ_collected) {
-              config_.tree->CollectSubtreeOccurrences(edge.child, &occ_buf_,
-                                                      &occ_scratch_);
+              config_.tree->CollectSubtreeOccurrences(
+                  edge.child, &arena.occ_buf, &arena.occ_scratch);
               occ_collected = true;
             }
-            EmitCandidates(dist);
+            EmitCandidates(arena, dist);
           }
-          if (config_.prune && table_.RowMin() - discount > Eps()) {
+          if (config_.prune && table.RowMin() - discount > Eps()) {
             // Theorem 1: no extension can recover. Skip the rest of this
             // edge and the whole subtree.
             ++stats_.branches_pruned;
@@ -339,24 +511,24 @@ class SearchDriver {
             break;
           }
         }
-        if (bottom && !descend_bottom) descend = false;
         if (descend) {
           f.pushed = pushed;
-          PushFrame(edge.child, branch_first_lb, 0);
+          PushFrame(arena, edge.child, branch_first_lb, 0,
+                    std::numeric_limits<std::size_t>::max());
         } else {
-          table_.PopRows(pushed);
+          table.PopRows(pushed);
           ++f.edge;
         }
       }
     }
 
     /// A prefix of depth NumRows() matched with filter distance `dist`:
-    /// expand the pre-collected subtree occurrences (occ_buf_) into
+    /// expand the pre-collected subtree occurrences (arena.occ_buf) into
     /// answers (exact-row models) or verified candidates (lower-bound
     /// models).
-    void EmitCandidates(Value dist) {
-      const auto depth = static_cast<Pos>(table_.NumRows());
-      for (const OccurrenceRec& occ : occ_buf_) {
+    void EmitCandidates(SearchArena& arena, Value dist) {
+      const auto depth = static_cast<Pos>(arena.table.NumRows());
+      for (const OccurrenceRec& occ : arena.occ_buf) {
         if constexpr (Model::kExactRows) {
           if (dist <= Eps()) {
             ++stats_.candidates;
@@ -390,83 +562,64 @@ class SearchDriver {
       Report({seq, start, len, d});
     }
 
-    void Report(const Match& m) { collector_.Report(m, &answers_); }
+    void Report(const Match& m) {
+      collector_.Report(m, &answers_);
+      // A k-NN report may have shrunk the shared threshold; fold it into
+      // the cache immediately so this worker prunes with its own result.
+      if (eps_mode_ == EpsMode::kCached) eps_cache_ = collector_.epsilon();
+    }
 
     const DriverConfig& config_;
-    Model model_;  // Worker-private copy: carries verification scratch.
-    QueryContext& ctx_;
+    Model model_;  // Thread-private copy: carries verification scratch.
     ResultCollector& collector_;
-    dtw::WarpingTable table_;
-    std::vector<OccurrenceRec> occ_buf_;
-    suffixtree::SubtreeScratch occ_scratch_;
+    const EpsMode eps_mode_;
+    Value eps_cache_;
+    std::uint32_t eps_polls_ = 0;
     std::vector<Frame> frames_;
-    // Per-depth children buffers, reused across the whole traversal so
-    // the hot path performs no per-node allocations once warmed up.
-    std::vector<Children> children_stack_;
+    std::shared_ptr<const std::vector<Symbol>> current_prefix_;
     std::vector<Match> answers_;
     SearchStats stats_;
   };
 
-  /// Splits the traversal into branch tasks. Level 0 is one task per root
-  /// edge; while the task count is under `target` the shallowest subtree
-  /// tasks are split into an edge-only task plus one subtree task per
-  /// child edge (prefix extended by the split edge's label). Enumeration
-  /// only reads tree topology — no distance work happens here.
-  std::vector<BranchTask> EnumerateTasks(std::size_t target) const {
-    const suffixtree::TreeView& tree = *config_.tree;
-    Children children;
-    tree.GetChildren(tree.Root(), &children);
-    std::vector<BranchTask> tasks;
-    tasks.reserve(children.edges.size());
-    for (std::uint32_t i = 0; i < children.edges.size(); ++i) {
-      BranchTask t;
-      t.node = tree.Root();
-      t.edge_index = i;
-      t.first_lb = model_.FirstRowLb(children.FirstSymbol(children.edges[i]));
-      tasks.push_back(std::move(t));
+  /// Parallel bookkeeping for one query: the fork/join scope plus one
+  /// Worker per executing thread, created on a thread's first task for
+  /// this query and drained single-threaded after the scope joins (the
+  /// per-worker stats slots that replace the old stats mutex).
+  struct ParallelState {
+    ParallelState(const DriverConfig& config, const Model& model,
+                  QueryContext* ctx)
+        : config(config), model(model), ctx(ctx) {}
+
+    Worker& LocalWorker() {
+      const std::thread::id id = std::this_thread::get_id();
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& slot : workers) {
+        if (slot.first == id) return *slot.second;
+      }
+      workers.emplace_back(
+          id, std::make_unique<Worker>(config, model, ctx, /*parallel=*/true));
+      return *workers.back().second;
     }
 
-    constexpr int kMaxSplitDepth = 3;
-    Children child_children;
-    for (int depth = 0; depth < kMaxSplitDepth && tasks.size() < target;
-         ++depth) {
-      std::vector<BranchTask> next;
-      next.reserve(tasks.size() * 2);
-      bool split_any = false;
-      for (BranchTask& t : tasks) {
-        if (!t.descend) {
-          next.push_back(std::move(t));
-          continue;
-        }
-        tree.GetChildren(t.node, &children);
-        const Children::Edge& edge = children.edges[t.edge_index];
-        tree.GetChildren(edge.child, &child_children);
-        if (child_children.edges.empty()) {
-          next.push_back(std::move(t));
-          continue;
-        }
-        split_any = true;
-        std::vector<Symbol> child_prefix = t.prefix;
-        const std::span<const Symbol> label = children.Label(edge);
-        child_prefix.insert(child_prefix.end(), label.begin(), label.end());
-        for (std::uint32_t j = 0; j < child_children.edges.size(); ++j) {
-          BranchTask sub;
-          sub.prefix = child_prefix;
-          sub.node = edge.child;
-          sub.edge_index = j;
-          sub.first_lb = t.first_lb;
-          next.push_back(std::move(sub));
-        }
-        // The edge rows themselves (emission + pruning along the label)
-        // stay with the original task, which no longer descends.
-        t.descend = false;
-        next.push_back(std::move(t));
-      }
-      tasks = std::move(next);
-      if (!split_any) break;
+    void Submit(BranchTask task) {
+      scope.Submit([this, task = std::move(task)] {
+        LocalWorker().RunTask(task, this);
+      });
     }
-    return tasks;
-  }
+
+    void DrainAll(QueryContext* query_ctx) {
+      for (auto& slot : workers) slot.second->Drain(query_ctx);
+    }
+
+    const DriverConfig& config;
+    const Model& model;
+    QueryContext* ctx;
+    TaskScope scope;
+    // Worker slots: appended under `mu` (rare — once per thread per
+    // query), iterated without it only after the scope joined.
+    std::mutex mu;
+    std::vector<std::pair<std::thread::id, std::unique_ptr<Worker>>> workers;
+  };
 
   const DriverConfig& config_;
   const Model& model_;

@@ -4,22 +4,67 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/task_scheduler.h"
 #include "core/result_collector.h"
 #include "dtw/envelope.h"
 #include "dtw/warping_table.h"
 
 namespace tswarp::core {
 
+namespace {
+
+/// Scans every suffix of one sequence, reporting matches into `collector`
+/// (via `scratch`) and counters into `stats`. Self-contained per sequence —
+/// its own cumulative table — so sequences can run serially or as one
+/// scheduler task each with identical per-suffix computations.
+void ScanSequence(const seqdb::SequenceDatabase& db, SeqId id,
+                  std::span<const Value> query, Value epsilon,
+                  const SeqScanOptions& options,
+                  const dtw::QueryEnvelope* env, Value lb_cut,
+                  ResultCollector* collector, std::vector<Match>* scratch,
+                  SearchStats* stats) {
+  const seqdb::Sequence& s = db.sequence(id);
+  const auto n = static_cast<Pos>(s.size());
+  dtw::WarpingTable table(query, options.band,
+                          std::max<std::size_t>(1, s.size()));
+  for (Pos p = 0; p < n; ++p) {
+    table.Reset();
+    Value running_lb = 0.0;
+    if (env != nullptr) ++stats->lb_invocations;
+    for (Pos q = p; q < n; ++q) {
+      if (env != nullptr) {
+        running_lb += env->ElementLb(q - p, s[q]);
+        if (running_lb > lb_cut) {
+          ++stats->lb_pruned;
+          break;
+        }
+      }
+      table.PushRowValue(s[q]);
+      ++stats->rows_pushed;
+      const Value dist = table.LastColumn();
+      if (dist <= epsilon) {
+        collector->Report({id, p, q - p + 1, dist}, scratch);
+      }
+      if (options.prune && table.RowMin() > epsilon) {
+        ++stats->branches_pruned;
+        break;
+      }
+    }
+  }
+  stats->cells_computed += table.cells_computed();
+}
+
+}  // namespace
+
 std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
                            std::span<const Value> query, Value epsilon,
                            const SeqScanOptions& options, SearchStats* stats) {
   TSW_CHECK(!query.empty());
   SearchStats local;
-  // The scan emits in (seq, start, len) ascending order — already the
-  // collector's range order — so Take()'s sort is the identity and the
-  // output is byte-identical to direct emission.
+  // Per-suffix emission is in (seq, start, len) ascending order; Take()'s
+  // final sort makes the output independent of sequence execution order,
+  // so serial and parallel scans return byte-identical answers.
   ResultCollector collector(epsilon, /*knn_k=*/0);
-  std::vector<Match> scratch;
   // Running LB_Keogh cascade: D_tw(Q, S[p:q]) >= sum of the elements'
   // envelope distances, and the sum only grows with q, so once it passes
   // epsilon every further extension of this suffix is out too — an O(1)
@@ -30,40 +75,34 @@ std::vector<Match> SeqScan(const seqdb::SequenceDatabase& db,
   // so reassociation drift against the exact kernel cannot dismiss a
   // boundary candidate that the unfiltered scan keeps.
   const Value lb_cut = dtw::LbPruneThreshold(epsilon);
-  std::size_t max_len = 0;
-  for (SeqId id = 0; id < db.size(); ++id) {
-    max_len = std::max(max_len, db.sequence(id).size());
-  }
-  dtw::WarpingTable table(query, options.band, std::max<std::size_t>(1, max_len));
-  for (SeqId id = 0; id < db.size(); ++id) {
-    const seqdb::Sequence& s = db.sequence(id);
-    const auto n = static_cast<Pos>(s.size());
-    for (Pos p = 0; p < n; ++p) {
-      table.Reset();
-      Value running_lb = 0.0;
-      if (env.has_value()) ++local.lb_invocations;
-      for (Pos q = p; q < n; ++q) {
-        if (env.has_value()) {
-          running_lb += env->ElementLb(q - p, s[q]);
-          if (running_lb > lb_cut) {
-            ++local.lb_pruned;
-            break;
-          }
-        }
-        table.PushRowValue(s[q]);
-        ++local.rows_pushed;
-        const Value dist = table.LastColumn();
-        if (dist <= epsilon) collector.Report({id, p, q - p + 1, dist},
-                                              &scratch);
-        if (options.prune && table.RowMin() > epsilon) {
-          ++local.branches_pruned;
-          break;
-        }
-      }
+  const dtw::QueryEnvelope* env_ptr = env.has_value() ? &*env : nullptr;
+
+  if (options.num_threads == 0 || db.size() <= 1) {
+    std::vector<Match> scratch;
+    for (SeqId id = 0; id < db.size(); ++id) {
+      ScanSequence(db, id, query, epsilon, options, env_ptr, lb_cut,
+                   &collector, &scratch, &local);
     }
+    collector.DrainRange(&scratch);
+  } else {
+    // One task per sequence on the shared work-stealing scheduler. Each
+    // task owns its table, scratch vector, and stats slot; slots are
+    // merged single-threaded after the scope joins.
+    TaskScheduler::Get().EnsureWorkers(options.num_threads);
+    std::vector<SearchStats> per_seq(db.size());
+    TaskScope scope;
+    for (SeqId id = 0; id < db.size(); ++id) {
+      scope.Submit([&, id] {
+        std::vector<Match> scratch;
+        ScanSequence(db, id, query, epsilon, options, env_ptr, lb_cut,
+                     &collector, &scratch, &per_seq[id]);
+        collector.DrainRange(&scratch);
+      });
+    }
+    scope.Wait();
+    for (const SearchStats& s : per_seq) local.Merge(s);
   }
-  local.cells_computed = table.cells_computed();
-  collector.DrainRange(&scratch);
+
   std::vector<Match> out = collector.Take();
   local.answers = out.size();
   if (stats != nullptr) *stats = local;

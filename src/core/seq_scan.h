@@ -25,6 +25,12 @@ struct SeqScanOptions {
 
   /// Sakoe-Chiba band (0 = unconstrained warping, the paper's setting).
   Pos band = 0;
+
+  /// Worker threads. 0 = serial. >= 1 fans the (independent) sequences out
+  /// as one task each on the process-wide work-stealing scheduler; answers
+  /// and stats are identical to serial (every per-suffix computation is
+  /// unchanged, only the execution order differs and Take() re-sorts).
+  std::size_t num_threads = 0;
 };
 
 /// Sequential scanning (paper Section 4.3): builds one cumulative distance

@@ -58,9 +58,11 @@ struct TreeSearchConfig {
 
   /// Worker threads for one search. 0 = fully serial (the original
   /// single-table DFS, byte-for-byte identical behavior and stats);
-  /// >= 1 decomposes the traversal into branch tasks executed on a
-  /// ThreadPool of that many workers. Results are identical to serial for
-  /// both range and k-NN searches (see docs/parallel_search.md).
+  /// >= 1 runs the traversal on the process-wide work-stealing scheduler
+  /// (ensured to have at least that many persistent workers), splitting
+  /// branch tasks off lazily as idle threads ask for work. Results are
+  /// identical to serial for both range and k-NN searches (see
+  /// docs/parallel_search.md).
   std::size_t num_threads = 0;
 };
 

@@ -549,5 +549,68 @@ TEST(DifferentialTest, SeqScanCascadeByteIdentical) {
   }
 }
 
+TEST(DifferentialTest, WorkStealingExecutorByteIdenticalAcrossThreadCounts) {
+  // Acceptance gate for the work-stealing execution layer: with lazy task
+  // splitting, per-thread arena reuse, and the cached k-NN threshold, a
+  // parallel search at any worker count must return byte-identical
+  // matches to the serial traversal — memory- and disk-backed, range and
+  // k-NN, for every index kind. Runs several seeds back to back so
+  // threads reuse cached arenas across queries of different lengths.
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    const seqdb::SequenceDatabase db = RandomDb(500 + seed);
+    Rng rng(6000 + seed);
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(2, 10)), seed);
+    const Value eps = rng.Uniform(0.5, 10.0);
+
+    for (const IndexKind kind : {IndexKind::kSuffixTree,
+                                 IndexKind::kCategorized,
+                                 IndexKind::kSparse}) {
+      const std::string kind_name = core::IndexKindToString(kind);
+      IndexOptions options;
+      options.kind = kind;
+      options.num_categories = 8;
+      auto index = Index::Build(&db, options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+      const std::vector<Match> reference = index->Search(q, eps);
+      const std::vector<Match> knn_reference = index->SearchKnn(q, 7);
+
+      IndexOptions disk = options;
+      disk.disk_path = testing::TempDir() + "/diff_steal_" + kind_name +
+                       std::to_string(seed);
+      disk.disk_batch_sequences = 4;
+      disk.disk_pool_pages = 2;  // Tiny pool: evictions mid-search.
+      auto disk_index = Index::Build(&db, disk);
+      ASSERT_TRUE(disk_index.ok()) << disk_index.status().ToString();
+
+      for (const std::size_t threads : {1u, 4u}) {
+        QueryOptions qo;
+        qo.num_threads = threads;
+        const std::string ctx = kind_name + " seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+        ExpectByteIdentical(reference, index->Search(q, eps, qo),
+                            "steal range " + ctx);
+        ExpectByteIdentical(knn_reference, index->SearchKnn(q, 7, qo),
+                            "steal knn " + ctx);
+        ExpectByteIdentical(reference, disk_index->Search(q, eps, qo),
+                            "steal disk range " + ctx);
+        ExpectByteIdentical(knn_reference, disk_index->SearchKnn(q, 7, qo),
+                            "steal disk knn " + ctx);
+      }
+    }
+
+    // The SeqScan baseline's new parallel mode obeys the same gate.
+    const std::vector<Match> scan_reference = core::SeqScan(db, q, eps);
+    for (const std::size_t threads : {1u, 4u}) {
+      SeqScanOptions scan;
+      scan.num_threads = threads;
+      ExpectByteIdentical(scan_reference, core::SeqScan(db, q, eps, scan),
+                          "steal seqscan seed=" + std::to_string(seed) +
+                              " threads=" + std::to_string(threads));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tswarp

@@ -120,6 +120,43 @@ TEST(SearchStatsTest, LowerBoundCascadeCountsOnTreeSearch) {
   EXPECT_GE(plain.exact_dtw_calls, stats.exact_dtw_calls);
 }
 
+TEST(SearchStatsTest, SchedulerCountersTrackParallelExecution) {
+  const seqdb::SequenceDatabase db = Db();
+  IndexOptions options;
+  options.kind = IndexKind::kCategorized;
+  options.num_categories = 12;
+  auto index = Index::Build(&db, options);
+  ASSERT_TRUE(index.ok());
+
+  SearchStats serial;
+  index->Search(Query(db), 6.0, {}, &serial);
+  EXPECT_EQ(serial.tasks_executed, 0u);
+  EXPECT_EQ(serial.tasks_stolen, 0u);
+  EXPECT_EQ(serial.steal_attempts, 0u);
+  EXPECT_EQ(serial.replayed_rows, 0u);
+
+  QueryOptions parallel;
+  parallel.num_threads = 4;
+  SearchStats par;
+  index->Search(Query(db), 6.0, parallel, &par);
+  // At least the root task ran. Whether it counts as stolen depends on
+  // who took it: a pool worker (stolen) or the waiting submitter helping
+  // itself (not) — timing-dependent, so only the bound is asserted.
+  EXPECT_GE(par.tasks_executed, 1u);
+  EXPECT_LE(par.tasks_stolen, par.tasks_executed);
+  // Replay happens only when a task actually split off a non-root branch;
+  // either way the cells identity covers the replayed rows.
+  EXPECT_EQ(par.cells_computed,
+            (par.rows_pushed + par.replayed_rows) * Query(db).size());
+
+  // Merge sums the scheduler counters like every other field.
+  SearchStats merged = serial;
+  merged.Merge(par);
+  EXPECT_EQ(merged.tasks_executed, par.tasks_executed);
+  EXPECT_EQ(merged.tasks_stolen, par.tasks_stolen);
+  EXPECT_EQ(merged.steal_attempts, par.steal_attempts);
+}
+
 TEST(SearchStatsTest, RdGrowsWithCoarserCategories) {
   const seqdb::SequenceDatabase db = Db();
   const auto q = Query(db);

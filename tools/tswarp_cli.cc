@@ -172,6 +172,15 @@ void PrintStatsCounters(const core::SearchStats& stats) {
       static_cast<unsigned long long>(stats.lb_invocations),
       static_cast<unsigned long long>(stats.lb_pruned),
       static_cast<unsigned long long>(stats.exact_dtw_calls));
+  if (stats.tasks_executed > 0) {
+    // Scheduler counters appear only for parallel searches (num_threads
+    // >= 1); steal probes are a process-wide contention signal, not an
+    // exact per-query count (see core/match.h).
+    std::printf("scheduler: tasks %llu (%llu stolen), steal probes %llu\n",
+                static_cast<unsigned long long>(stats.tasks_executed),
+                static_cast<unsigned long long>(stats.tasks_stolen),
+                static_cast<unsigned long long>(stats.steal_attempts));
+  }
 }
 
 /// Counters plus, for disk-backed indexes, the per-region buffer-manager
