@@ -1,0 +1,227 @@
+// Open-loop load generator for tswarpd: drives an in-process server with
+// Poisson arrivals at a fixed offered rate and reports end-to-end latency
+// percentiles. Open-loop means each request's latency is measured from its
+// *scheduled* arrival time, not from when a sender thread got around to
+// transmitting it — so queueing delay inside the server (and any sender
+// backlog) counts against the server, as it would for real clients.
+//
+//   load_server [--rate QPS] [--duration S] [--senders N] [--queue N]
+//               [--quick] [--json]
+//
+// The arrival schedule is precomputed from a fixed seed, so two runs at
+// the same rate offer byte-identical workloads. 429s are expected once
+// the offered rate exceeds capacity and are reported separately; any 5xx
+// or transport error fails the run (exit 1), which is what the CI smoke
+// job asserts on.
+//
+// --json writes BENCH_load_server.json (see report_json.h) with the
+// latency percentiles and throughput counters for cross-session diffing.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "report_json.h"
+#include "datagen/generators.h"
+#include "server/client.h"
+#include "server/index_handle.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace tswarp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double latency_ns;
+  int status;  // HTTP status, or -1 for a transport failure.
+};
+
+std::string RequestBody(const seqdb::SequenceDatabase& db, std::size_t seq,
+                        std::size_t len, double epsilon) {
+  const std::span<const Value> sub = db.Subsequence(seq, 0, len);
+  std::string body = "{\"query\":[";
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    if (i != 0) body.push_back(',');
+    server::AppendJsonNumber(&body, sub[i]);
+  }
+  body += "],\"epsilon\":";
+  server::AppendJsonNumber(&body, epsilon);
+  body.push_back('}');
+  return body;
+}
+
+double PercentileNs(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(p * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return sorted[rank];
+}
+
+int Run(int argc, char** argv) {
+  const bool json = bench::StripJsonFlag(&argc, argv);
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const double rate =
+      static_cast<double>(bench::FlagValue(argc, argv, "--rate", 50));
+  const double duration_s = static_cast<double>(
+      bench::FlagValue(argc, argv, "--duration", quick ? 2 : 5));
+  const long senders = bench::FlagValue(argc, argv, "--senders", 4);
+  const long queue = bench::FlagValue(argc, argv, "--queue", 64);
+
+  datagen::RandomWalkOptions walk;
+  walk.num_sequences = 60;
+  walk.avg_length = 120;
+  walk.length_jitter = 15;
+  walk.seed = 7;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(walk);
+  core::IndexOptions index_options;
+  index_options.kind = core::IndexKind::kCategorized;
+  index_options.num_categories = 12;
+  auto index = core::Index::Build(&db, index_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  server::IndexHandle handle(std::move(*index));
+  server::ServerOptions server_options;
+  server_options.queue_capacity = static_cast<std::size_t>(queue);
+  server_options.connection_threads = static_cast<std::size_t>(senders);
+  auto server = server::Server::Start(&handle, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const int port = (*server)->port();
+
+  // A small mixed workload, round-robined across arrivals: cheap short
+  // queries plus a couple of heavier ones so the latency tail is real.
+  std::vector<std::string> bodies;
+  for (std::size_t seq = 0; seq < 4; ++seq) {
+    bodies.push_back(RequestBody(db, seq, 8, 2.0));
+  }
+  bodies.push_back(RequestBody(db, 4, 16, 4.0));
+  bodies.push_back(RequestBody(db, 5, 16, 4.0));
+
+  // Precomputed Poisson schedule: exponential inter-arrivals from a fixed
+  // seed, so the offered workload is reproducible run to run.
+  std::mt19937_64 rng(42);
+  std::exponential_distribution<double> inter_arrival(rate);
+  std::vector<double> arrivals_s;
+  for (double t = inter_arrival(rng); t < duration_s;
+       t += inter_arrival(rng)) {
+    arrivals_s.push_back(t);
+  }
+  if (arrivals_s.empty()) {
+    std::fprintf(stderr, "empty schedule (rate too low for duration)\n");
+    return 1;
+  }
+
+  std::vector<Sample> samples(arrivals_s.size());
+  std::atomic<std::size_t> next{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool;
+  for (long s = 0; s < senders; ++s) {
+    pool.emplace_back([&] {
+      auto client = server::HttpClient::Connect("127.0.0.1", port);
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= arrivals_s.size()) break;
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrivals_s[i]));
+        std::this_thread::sleep_until(scheduled);
+        Sample& sample = samples[i];
+        if (!client.ok()) {
+          client = server::HttpClient::Connect("127.0.0.1", port);
+        }
+        if (!client.ok()) {
+          sample = {0.0, -1};
+          continue;
+        }
+        auto response = client->Post("/search", bodies[i % bodies.size()]);
+        const auto elapsed = Clock::now() - scheduled;
+        if (!response.ok()) {
+          sample = {0.0, -1};
+          client = StatusOr<server::HttpClient>(Status::IOError("reconnect"));
+          continue;
+        }
+        sample.status = response->status;
+        sample.latency_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - start)
+                            .count();
+  (*server)->Shutdown();
+
+  std::size_t ok = 0, rejected = 0, errors = 0;
+  std::vector<double> ok_latencies;
+  for (const Sample& s : samples) {
+    if (s.status == 200) {
+      ++ok;
+      ok_latencies.push_back(s.latency_ns);
+    } else if (s.status == 429) {
+      ++rejected;
+    } else {
+      ++errors;
+    }
+  }
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  const double p50 = PercentileNs(ok_latencies, 0.50);
+  const double p95 = PercentileNs(ok_latencies, 0.95);
+  const double p99 = PercentileNs(ok_latencies, 0.99);
+  const double throughput = static_cast<double>(ok) / wall_s;
+
+  std::printf("load_server: offered %.0f qps for %.1fs (%zu requests, "
+              "%ld senders, queue %ld)\n",
+              rate, duration_s, arrivals_s.size(), senders, queue);
+  std::printf("  completed %zu  rejected(429) %zu  errors %zu\n", ok,
+              rejected, errors);
+  std::printf("  throughput %.1f qps\n", throughput);
+  std::printf("  latency p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+              p50 / 1e6, p95 / 1e6, p99 / 1e6);
+
+  if (json) {
+    bench::JsonReport report("load_server");
+    const bench::JsonReport::Counters counters = {
+        {"offered_qps", rate},
+        {"requests", static_cast<double>(arrivals_s.size())},
+        {"completed", static_cast<double>(ok)},
+        {"rejected", static_cast<double>(rejected)},
+        {"errors", static_cast<double>(errors)},
+        {"throughput_qps", throughput},
+    };
+    report.Add("latency_p50", p50, counters);
+    report.Add("latency_p95", p95);
+    report.Add("latency_p99", p99);
+    if (!report.Write()) return 1;
+  }
+
+  // The smoke contract: the server must have answered something and never
+  // have produced a 5xx / transport error under this load.
+  if (ok == 0 || errors != 0) {
+    std::fprintf(stderr, "load_server: FAILED (completed=%zu errors=%zu)\n",
+                 ok, errors);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

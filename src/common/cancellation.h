@@ -1,0 +1,82 @@
+#ifndef TSWARP_COMMON_CANCELLATION_H_
+#define TSWARP_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tswarp {
+
+/// Cooperative cancellation handle shared between a search and whoever may
+/// abort it (a server deadline, a client disconnect, an operator). The
+/// searcher polls Expired() at bounded intervals from its hot loop and
+/// stops early when it fires; everything the search reported before the
+/// stop is exact (the no-false-dismissal contract holds for the completed
+/// work), the result set is merely a subset of the full answer. The token
+/// carries two triggers folded into one poll:
+///
+///   * an explicit flag, set by Cancel() from any thread, and
+///   * an optional deadline (ArmDeadline / ArmDeadlineAfter) checked
+///     against the steady clock only when armed, so un-deadlined searches
+///     never pay a clock read.
+///
+/// Tokens are reusable across searches only before the first Cancel();
+/// once cancelled a token stays cancelled (there is deliberately no reset:
+/// a request that raced its own cancellation must not resurrect). All
+/// members are safe to call concurrently.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; visible to pollers promptly (the
+  /// searcher's poll interval, not a memory-ordering delay, dominates the
+  /// reaction time — relaxed ordering suffices because the token guards
+  /// no other data).
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called (deadline expiry does not set this;
+  /// use Expired() for the combined check).
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms (or re-arms) the absolute deadline. A deadline in the past makes
+  /// Expired() true on the next poll.
+  void ArmDeadline(Clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `budget` from now. A zero or negative budget
+  /// expires immediately.
+  void ArmDeadlineAfter(Clock::duration budget) noexcept {
+    ArmDeadline(Clock::now() + budget);
+  }
+
+  /// The combined poll: explicit cancellation, or an armed deadline that
+  /// has passed. Reads the clock only when a deadline is armed.
+  bool Expired() const noexcept {
+    if (cancelled()) return true;
+    const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns == kNoDeadline) return false;
+    return Clock::now().time_since_epoch().count() >= ns;
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = 0;
+
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in ns-since-epoch; kNoDeadline = unarmed. (The
+  /// steady clock's epoch is process-local, so 0 never collides with a
+  /// real deadline in practice; an exactly-zero time point would merely
+  /// disarm, which is harmless.)
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace tswarp
+
+#endif  // TSWARP_COMMON_CANCELLATION_H_

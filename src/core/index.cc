@@ -255,6 +255,7 @@ TreeSearchConfig MakeConfig(const Index& index,
   config.use_lower_bound = query_options.use_lower_bound;
   config.band = query_options.band;
   config.num_threads = query_options.num_threads;
+  config.cancel = query_options.cancel;
   return config;
 }
 

@@ -9,6 +9,7 @@
 
 #include "categorize/alphabet.h"
 #include "categorize/categorizer.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/match.h"
@@ -91,6 +92,13 @@ struct QueryOptions {
   /// SearchBatch independent queries fan out as one task each. Results
   /// are identical to serial either way.
   std::size_t num_threads = 0;
+  /// Cooperative cancellation / deadline hook. When non-null the search
+  /// polls the token at bounded intervals and stops early once it expires,
+  /// setting SearchStats::cancelled. Matches reported before the stop are
+  /// exact (no false dismissal within the completed work); the set is a
+  /// subset of the full answer. The token must outlive the search. For
+  /// SearchBatch one token covers the whole batch.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The public index: builds one of the paper's three structures over a
@@ -98,6 +106,16 @@ struct QueryOptions {
 /// time warping distance with no false dismissals.
 ///
 /// The database must outlive the index.
+///
+/// Thread safety: every const member (Search, SearchKnn, SearchBatch,
+/// PoolStats, build_info, ...) may be called from any number of threads
+/// concurrently, and Build/Open construct independent instances touching
+/// no shared mutable state, so opening one index is safe while another —
+/// even one over the same on-disk bundle — is serving reads. What is NOT
+/// safe is mutating an Index *object* (move-assigning a reopened index
+/// into a slot readers are using): a long-lived server that hot-swaps its
+/// index must publish instances through snapshot semantics instead (see
+/// server::IndexHandle and the ServerIndexReload regression test).
 class Index {
  public:
   static StatusOr<Index> Build(const seqdb::SequenceDatabase* db,

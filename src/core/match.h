@@ -69,6 +69,11 @@ struct SearchStats {
   // per-query: concurrent searches on the shared scheduler inflate each
   // other's windows. Useful as a contention signal, not an exact count.
   std::uint64_t steal_attempts = 0;
+  // Workers that observed an expired CancelToken and stopped early
+  // (QueryOptions::cancel). Nonzero means the result set is a sound
+  // *subset* of the full answer: every reported match is exact, but the
+  // traversal did not finish. 0 for complete searches.
+  std::uint64_t cancelled = 0;
 
   /// Accumulates another worker's counters into this one.
   void Merge(const SearchStats& other) {
@@ -87,6 +92,7 @@ struct SearchStats {
     tasks_executed += other.tasks_executed;
     tasks_stolen += other.tasks_stolen;
     steal_attempts += other.steal_attempts;
+    cancelled += other.cancelled;
   }
 };
 

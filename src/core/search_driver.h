@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/logging.h"
 #include "common/task_scheduler.h"
 #include "common/types.h"
@@ -108,6 +109,15 @@ struct DriverConfig {
   /// identical to serial for both range and k-NN searches (see
   /// docs/parallel_search.md).
   std::size_t num_threads = 0;
+
+  /// Cooperative cancellation: when non-null every worker polls the token
+  /// every kCancelPollRows rows/candidates and abandons its traversal once
+  /// it expires, marking SearchStats::cancelled. Reported matches stay
+  /// exact — stopping early can only drop answers, never fabricate or
+  /// falsely dismiss one among the work actually completed — and the
+  /// scheduler, arenas, and collector remain reusable afterwards (queued
+  /// branch tasks still run; they just return immediately).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-query shared state, owned for the query's whole lifetime: the
@@ -307,6 +317,15 @@ class SearchDriver {
     /// Executes one branch task: replay the prefix, then traverse the
     /// edge range. `par` enables lazy splitting (nullptr = serial).
     void RunTask(const BranchTask& task, ParallelState* par) {
+      if (config_.cancel != nullptr &&
+          (cancel_seen_ || config_.cancel->Expired())) {
+        // The query is already dead: skip the prefix replay and the whole
+        // span. Queued tasks drain through here, leaving the scheduler
+        // free for the next query immediately.
+        cancel_seen_ = true;
+        stats_.cancelled = 1;
+        return;
+      }
       std::unique_ptr<SearchArena> arena = AcquireSearchArena(
           config_.query_length, config_.band, ResolvedDepthHint());
       struct Return {  // Release even if a model verification throws.
@@ -340,6 +359,12 @@ class SearchDriver {
     /// threshold shrinks monotonically), never correctness.
     static constexpr std::uint32_t kEpsRefreshPolls = 64;
 
+    /// Consult the CancelToken once per this many abort polls (rows
+    /// pushed / candidates expanded). Each row costs O(|Q|) cells, so the
+    /// reaction latency is tens of row computations — milliseconds — while
+    /// the steady-state cost is one counter increment per row.
+    static constexpr std::uint32_t kCancelPollRows = 32;
+
     enum class EpsMode {
       kFixed,   // Range mode: the threshold never changes — no loads.
       kExact,   // Serial k-NN: always read the shared atomic.
@@ -357,6 +382,19 @@ class SearchDriver {
     std::size_t ResolvedDepthHint() const {
       return config_.depth_hint != 0 ? config_.depth_hint
                                      : dtw::WarpingTable::kDefaultDepthHint;
+    }
+
+    /// The cooperative abort poll. Latches the first expiry into
+    /// cancel_seen_ (and the stats) so later polls are one branch.
+    bool ShouldAbort() {
+      if (config_.cancel == nullptr) return false;
+      if (cancel_seen_) return true;
+      if (++cancel_polls_ < kCancelPollRows) return false;
+      cancel_polls_ = 0;
+      if (!config_.cancel->Expired()) return false;
+      cancel_seen_ = true;
+      stats_.cancelled = 1;
+      return true;
     }
 
     Value Eps() {
@@ -489,6 +527,13 @@ class SearchDriver {
         arena.occ_buf.clear();
         bool occ_collected = false;
         for (const Symbol sym : label) {
+          if (ShouldAbort()) {
+            // Deadline/cancel fired: abandon the whole span. The arena is
+            // released by RunTask's guard and Reset on its next use, so
+            // no unwinding of pushed rows is needed.
+            frames_.clear();
+            return;
+          }
           model_.RowStep(&table, sym);
           ++pushed;
           ++stats_.rows_pushed;
@@ -529,6 +574,11 @@ class SearchDriver {
     void EmitCandidates(SearchArena& arena, Value dist) {
       const auto depth = static_cast<Pos>(arena.table.NumRows());
       for (const OccurrenceRec& occ : arena.occ_buf) {
+        // One emission can verify thousands of candidates (every stored
+        // suffix below the edge); poll here too so a deadline interrupts
+        // the verification cascade, not just the traversal. The caller's
+        // label loop sees the latched flag on its next row.
+        if (ShouldAbort()) return;
         if constexpr (Model::kExactRows) {
           if (dist <= Eps()) {
             ++stats_.candidates;
@@ -575,6 +625,8 @@ class SearchDriver {
     const EpsMode eps_mode_;
     Value eps_cache_;
     std::uint32_t eps_polls_ = 0;
+    std::uint32_t cancel_polls_ = 0;
+    bool cancel_seen_ = false;
     std::vector<Frame> frames_;
     std::shared_ptr<const std::vector<Symbol>> current_prefix_;
     std::vector<Match> answers_;

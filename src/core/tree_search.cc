@@ -43,6 +43,7 @@ DriverConfig MakeDriverConfig(const TreeSearchConfig& config,
   driver.prune = config.prune;
   driver.band = config.band;
   driver.num_threads = config.num_threads;
+  driver.cancel = config.cancel;
   if (config.db != nullptr) {
     // DFS depth is bounded by the longest suffix in the tree.
     std::size_t max_len = 0;

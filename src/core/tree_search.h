@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "categorize/alphabet.h"
+#include "common/cancellation.h"
 #include "common/types.h"
 #include "core/match.h"
 #include "seqdb/sequence_database.h"
@@ -64,6 +65,9 @@ struct TreeSearchConfig {
   /// identical to serial for both range and k-NN searches (see
   /// docs/parallel_search.md).
   std::size_t num_threads = 0;
+
+  /// Cooperative cancellation / deadline token; see QueryOptions::cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs the similarity search: every subsequence of the indexed database

@@ -43,6 +43,7 @@ std::vector<Match> RunDriver(const MultiSequenceDatabase& db,
   driver.prune = options.prune;
   driver.band = options.band;
   driver.num_threads = options.num_threads;
+  driver.cancel = options.cancel;
   std::size_t max_len = 0;
   for (SeqId id = 0; id < db.size(); ++id) {
     max_len = std::max<std::size_t>(max_len, db.Length(id));

@@ -1,0 +1,166 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace tswarp::server {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string_view ClientResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+StatusOr<HttpClient> HttpClient::Connect(const std::string& address,
+                                         int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + address);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  return HttpClient(fd);
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+HttpClient::~HttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<ClientResponse> HttpClient::Get(const std::string& path) {
+  return Roundtrip("GET " + path + " HTTP/1.1\r\nHost: tswarpd\r\n\r\n");
+}
+
+StatusOr<ClientResponse> HttpClient::Post(const std::string& path,
+                                          const std::string& body) {
+  return Roundtrip("POST " + path +
+                   " HTTP/1.1\r\nHost: tswarpd\r\nContent-Type: "
+                   "application/json\r\nContent-Length: " +
+                   std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+StatusOr<ClientResponse> HttpClient::Roundtrip(
+    const std::string& request_bytes) {
+  std::string_view remaining = request_bytes;
+  while (!remaining.empty()) {
+    const ssize_t n =
+        ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (n <= 0) return Errno("send");
+    remaining.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return ReadResponse();
+}
+
+StatusOr<ClientResponse> HttpClient::ReadResponse() {
+  // Accumulate until the full head and Content-Length body are buffered.
+  while (true) {
+    const std::size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      // Parse the head.
+      ClientResponse response;
+      const std::string_view head =
+          std::string_view(buffer_).substr(0, header_end);
+      const std::size_t line_end = head.find("\r\n");
+      const std::string_view status_line =
+          head.substr(0, std::min(line_end, head.size()));
+      // "HTTP/1.1 NNN Reason"
+      const std::size_t sp = status_line.find(' ');
+      if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+        return Status::Corruption("malformed status line");
+      }
+      const std::string_view code = status_line.substr(sp + 1, 3);
+      const auto [unused, ec] =
+          std::from_chars(code.data(), code.data() + code.size(),
+                          response.status);
+      if (ec != std::errc()) {
+        return Status::Corruption("malformed status code");
+      }
+      std::size_t cursor =
+          line_end == std::string_view::npos ? head.size() : line_end + 2;
+      std::size_t content_length = 0;
+      while (cursor < head.size()) {
+        std::size_t eol = head.find("\r\n", cursor);
+        if (eol == std::string_view::npos) eol = head.size();
+        const std::string_view line = head.substr(cursor, eol - cursor);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos) {
+          std::string_view value = line.substr(colon + 1);
+          while (!value.empty() && (value.front() == ' ')) {
+            value.remove_prefix(1);
+          }
+          std::string name = ToLower(line.substr(0, colon));
+          if (name == "content-length") {
+            std::from_chars(value.data(), value.data() + value.size(),
+                            content_length);
+          }
+          response.headers.emplace_back(std::move(name), std::string(value));
+        }
+        cursor = eol + 2;
+      }
+      const std::size_t total = header_end + 4 + content_length;
+      if (buffer_.size() >= total) {
+        response.body = buffer_.substr(header_end + 4, content_length);
+        response.raw = buffer_.substr(0, total);
+        buffer_.erase(0, total);
+        return response;
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) return Errno("recv");
+    if (n == 0) {
+      return Status::IOError("connection closed before a full response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace tswarp::server

@@ -1,0 +1,58 @@
+#ifndef TSWARP_SERVER_CLIENT_H_
+#define TSWARP_SERVER_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tswarp::server {
+
+/// One parsed HTTP response as received by the test client. `raw` keeps
+/// the exact wire bytes (status line through body) for golden comparisons.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // Lower-cased.
+  std::string body;
+  std::string raw;
+
+  /// First header with `name` (lower-case), or "".
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// enough protocol for the e2e tests and the load generator, nothing
+/// more. Not thread-safe; use one client per thread.
+class HttpClient {
+ public:
+  /// Connects to 127.0.0.1-style `address`:`port`.
+  static StatusOr<HttpClient> Connect(const std::string& address, int port);
+
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  ~HttpClient();
+
+  StatusOr<ClientResponse> Get(const std::string& path);
+  StatusOr<ClientResponse> Post(const std::string& path,
+                                const std::string& body);
+
+  /// Sends `request_bytes` verbatim and reads one response — the hook the
+  /// protocol golden tests use to send deliberately malformed framing.
+  StatusOr<ClientResponse> Roundtrip(const std::string& request_bytes);
+
+ private:
+  explicit HttpClient(int fd) : fd_(fd) {}
+
+  StatusOr<ClientResponse> ReadResponse();
+
+  int fd_ = -1;
+  std::string buffer_;  // Bytes past the previous response (keep-alive).
+};
+
+}  // namespace tswarp::server
+
+#endif  // TSWARP_SERVER_CLIENT_H_

@@ -1,0 +1,167 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace tswarp::server {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string conn = ToLower(Header("connection"));
+  if (version == "HTTP/1.0") return conn == "keep-alive";
+  return conn != "close";
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpReasonPhrase(status) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpParseStatus ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits,
+                                 HttpRequest* request,
+                                 std::size_t* consumed) {
+  const std::size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    // No terminator yet: either wait for more bytes or give up once the
+    // prefix already exceeds the header budget.
+    return buffer.size() > limits.max_header_bytes
+               ? HttpParseStatus::kHeadersTooLarge
+               : HttpParseStatus::kIncomplete;
+  }
+  if (header_end > limits.max_header_bytes) {
+    return HttpParseStatus::kHeadersTooLarge;
+  }
+
+  HttpRequest req;
+  const std::string_view head = buffer.substr(0, header_end);
+  std::size_t line_start = 0;
+  bool first_line = true;
+  while (line_start <= head.size()) {
+    std::size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line = head.substr(line_start,
+                                              line_end - line_start);
+    if (first_line) {
+      // request-line: METHOD SP target SP version
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+          line.find(' ', sp2 + 1) != std::string_view::npos) {
+        return HttpParseStatus::kBadRequest;
+      }
+      req.method = std::string(line.substr(0, sp1));
+      req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      req.version = std::string(line.substr(sp2 + 1));
+      if (req.method.empty() || req.target.empty() ||
+          (req.version != "HTTP/1.1" && req.version != "HTTP/1.0")) {
+        return HttpParseStatus::kBadRequest;
+      }
+      first_line = false;
+    } else if (!line.empty()) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return HttpParseStatus::kBadRequest;
+      }
+      // Whitespace before the colon is smuggling per RFC 9112 §5.1.
+      if (line[colon - 1] == ' ' || line[colon - 1] == '\t') {
+        return HttpParseStatus::kBadRequest;
+      }
+      req.headers.emplace_back(ToLower(line.substr(0, colon)),
+                               std::string(Trim(line.substr(colon + 1))));
+    }
+    if (line_end == head.size()) break;
+    line_start = line_end + 2;
+  }
+  if (first_line) return HttpParseStatus::kBadRequest;
+
+  if (!req.Header("transfer-encoding").empty()) {
+    // Chunked bodies are out of protocol scope; refuse loudly rather than
+    // desync the framing.
+    return HttpParseStatus::kUnsupported;
+  }
+
+  std::size_t content_length = 0;
+  const std::string_view cl = req.Header("content-length");
+  if (!cl.empty()) {
+    const auto [end, ec] =
+        std::from_chars(cl.data(), cl.data() + cl.size(), content_length);
+    if (ec != std::errc() || end != cl.data() + cl.size()) {
+      return HttpParseStatus::kBadRequest;
+    }
+  }
+  if (content_length > limits.max_body_bytes) {
+    return HttpParseStatus::kBodyTooLarge;
+  }
+
+  const std::size_t body_start = header_end + 4;
+  if (buffer.size() - body_start < content_length) {
+    return HttpParseStatus::kIncomplete;
+  }
+  req.body = std::string(buffer.substr(body_start, content_length));
+  *consumed = body_start + content_length;
+  *request = std::move(req);
+  return HttpParseStatus::kOk;
+}
+
+}  // namespace tswarp::server

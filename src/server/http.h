@@ -1,0 +1,78 @@
+#ifndef TSWARP_SERVER_HTTP_H_
+#define TSWARP_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tswarp::server {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased at parse
+/// time (field names are case-insensitive per RFC 9112); values keep
+/// their bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with name `name` (must be passed lower-case), or "".
+  std::string_view Header(std::string_view name) const;
+
+  /// True when the client asked to keep the connection open: HTTP/1.1
+  /// without "Connection: close", or HTTP/1.0 with "keep-alive".
+  bool KeepAlive() const;
+};
+
+/// One HTTP response under construction. Content-Length and the standard
+/// framing are emitted by Serialize(); responses carry no Date header so
+/// they are byte-deterministic (the protocol golden tests depend on it).
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  void AddHeader(std::string name, std::string value) {
+    headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  /// The full wire form: status line, headers, Content-Length, blank
+  /// line, body. `keep_alive` controls the Connection header.
+  std::string Serialize(bool keep_alive) const;
+};
+
+/// The canonical reason phrase for a status code ("OK", "Bad Request"...).
+const char* HttpReasonPhrase(int status);
+
+/// Parse limits. A request exceeding them is answered with 431 (headers)
+/// or 413 (body) and the connection is closed.
+struct HttpLimits {
+  std::size_t max_header_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// Outcome of one incremental parse attempt over a receive buffer.
+enum class HttpParseStatus {
+  kOk,             // *request filled; *consumed bytes may be erased.
+  kIncomplete,     // Need more bytes.
+  kBadRequest,     // Malformed framing -> 400, close.
+  kHeadersTooLarge,  // -> 431, close.
+  kBodyTooLarge,   // -> 413, close.
+  kUnsupported,    // Transfer-Encoding etc. -> 501, close.
+};
+
+/// Attempts to parse one complete request from the front of `buffer`.
+/// On kOk, `*request` is filled and `*consumed` is the byte count to drop
+/// from the buffer (framing + body). Stateless: call again with a fuller
+/// buffer after kIncomplete.
+HttpParseStatus ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits,
+                                 HttpRequest* request,
+                                 std::size_t* consumed);
+
+}  // namespace tswarp::server
+
+#endif  // TSWARP_SERVER_HTTP_H_

@@ -1,0 +1,58 @@
+#ifndef TSWARP_SERVER_INDEX_HANDLE_H_
+#define TSWARP_SERVER_INDEX_HANDLE_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/index.h"
+
+namespace tswarp::server {
+
+/// Publication point for the index a long-lived server is serving.
+///
+/// core::Index is freely shareable for concurrent *reads*, but mutating the
+/// object itself — move-assigning a freshly Open()ed index into a slot that
+/// in-flight /stats or /search handlers are reading — is a data race (the
+/// handler may dereference `disk_tree_` mid-swap). IndexHandle fixes that
+/// by never mutating a published index: Replace() swaps a shared_ptr under
+/// a mutex, readers take a Snapshot() that pins the instance they started
+/// with for the duration of their request, and the old index is destroyed
+/// only when its last reader drops the pin. Index::Open itself touches no
+/// shared mutable state, so building the replacement concurrently with
+/// serving is safe; the ServerIndexReload regression test runs exactly
+/// that pattern under TSan.
+class IndexHandle {
+ public:
+  explicit IndexHandle(core::Index index)
+      : current_(std::make_shared<const core::Index>(std::move(index))) {}
+
+  IndexHandle(const IndexHandle&) = delete;
+  IndexHandle& operator=(const IndexHandle&) = delete;
+
+  /// The currently published index, pinned for as long as the caller holds
+  /// the pointer. Requests take one snapshot up front and use it for every
+  /// access, so a mid-request Replace() cannot pull the index out from
+  /// under them.
+  std::shared_ptr<const core::Index> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Publishes `next` atomically with respect to Snapshot(). The previous
+  /// index stays alive until its last snapshot is released; its destructor
+  /// runs on whichever thread drops that pin.
+  void Replace(core::Index next) {
+    auto fresh = std::make_shared<const core::Index>(std::move(next));
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(fresh);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const core::Index> current_;
+};
+
+}  // namespace tswarp::server
+
+#endif  // TSWARP_SERVER_INDEX_HANDLE_H_

@@ -1,0 +1,86 @@
+#ifndef TSWARP_SERVER_JSON_H_
+#define TSWARP_SERVER_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tswarp::server {
+
+/// Minimal JSON document model for the tswarpd wire protocol. The server
+/// exchanges small request/response bodies, so a plain recursive value
+/// (map-backed objects, vector-backed arrays) is the right weight — no
+/// external dependency, deterministic serialization, strict parsing.
+///
+/// Deliberate strictness (each of these is a protocol test): input must be
+/// a single JSON value with nothing but whitespace after it, numbers must
+/// be finite, strings must be valid escape sequences (\uXXXX is accepted
+/// for ASCII and encoded as UTF-8 for the BMP), and nesting depth is
+/// capped so a hostile body cannot blow the stack.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  /// Ordered map: serialization and iteration are deterministic.
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  std::vector<JsonValue>* MutableArray() { return &array_; }
+  /// Sets (replacing) an object member.
+  void Set(std::string key, JsonValue value);
+
+  /// Serializes compactly (no whitespace), keys in map order, doubles via
+  /// shortest round-trip (std::to_chars) so equal inputs always produce
+  /// byte-equal output.
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses `text` as one strict JSON document. On failure the status
+/// message names the byte offset and what was expected.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Appends `d` to `out` in the canonical wire format: shortest
+/// round-trip decimal, "-0" normalized to "0". Shared by JsonValue::Dump
+/// and hand-rolled serializers that must stay byte-compatible with it.
+void AppendJsonNumber(std::string* out, double d);
+
+/// Appends the JSON string literal (quotes + escapes) for `s`.
+void AppendJsonString(std::string* out, std::string_view s);
+
+}  // namespace tswarp::server
+
+#endif  // TSWARP_SERVER_JSON_H_

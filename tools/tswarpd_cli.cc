@@ -1,0 +1,189 @@
+// tswarpd: serves one tswarp index over HTTP/JSON.
+//
+//   tswarpd_cli serve DB [--port P] [--address A] [--kind st|stc|sstc]
+//       [--categories C] [--index PATH] [--queue N] [--batch N]
+//       [--search-threads T] [--conn-threads T] [--smoke]
+//
+// The index is built (or, with --index, reopened from a persisted bundle)
+// at startup; queries then run concurrently through the admission queue
+// and coalescing dispatcher (see docs/server.md). SIGTERM/SIGINT trigger
+// a graceful drain: in-flight and already-admitted searches are answered,
+// then the process exits 0.
+//
+// --smoke starts on an ephemeral port, runs a self-test over a real
+// socket (healthz, one search, stats), drains, and exits — the CI hook.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/index.h"
+#include "seqdb/sequence_database.h"
+#include "server/client.h"
+#include "server/index_handle.h"
+#include "server/server.h"
+
+namespace tswarp {
+namespace {
+
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+const char* FlagValue(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+long FlagLong(int argc, char** argv, const char* flag, long fallback) {
+  const char* v = FlagValue(argc, argv, flag, nullptr);
+  return v == nullptr ? fallback : std::atol(v);
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tswarpd_cli serve DB [--port P] [--address A] "
+               "[--kind st|stc|sstc] [--categories C] [--index PATH] "
+               "[--queue N] [--batch N] [--search-threads T] "
+               "[--conn-threads T] [--smoke]\n");
+  return 2;
+}
+
+/// The smoke self-test: a full client round trip over the real socket.
+int RunSmoke(server::Server& srv) {
+  StatusOr<server::HttpClient> client =
+      server::HttpClient::Connect("127.0.0.1", srv.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "smoke: connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<server::ClientResponse> health = client->Get("/healthz");
+  if (!health.ok() || health->status != 200) {
+    std::fprintf(stderr, "smoke: /healthz failed\n");
+    return 1;
+  }
+  StatusOr<server::ClientResponse> search = client->Post(
+      "/search", "{\"query\":[50,51,52,53],\"epsilon\":8}");
+  if (!search.ok() || search->status != 200) {
+    std::fprintf(stderr, "smoke: /search failed (status %d)\n",
+                 search.ok() ? search->status : -1);
+    return 1;
+  }
+  StatusOr<server::ClientResponse> stats = client->Get("/stats");
+  if (!stats.ok() || stats->status != 200) {
+    std::fprintf(stderr, "smoke: /stats failed\n");
+    return 1;
+  }
+  std::printf("smoke ok: port %d, search body %zu bytes\n", srv.port(),
+              search->body.size());
+  return 0;
+}
+
+int Serve(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<seqdb::SequenceDatabase> db =
+      seqdb::SequenceDatabase::Load(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  IndexOptions options;
+  const std::string kind = FlagValue(argc, argv, "--kind", "sstc");
+  if (kind == "st") {
+    options.kind = IndexKind::kSuffixTree;
+  } else if (kind == "stc") {
+    options.kind = IndexKind::kCategorized;
+  } else {
+    options.kind = IndexKind::kSparse;
+  }
+  options.num_categories = static_cast<std::size_t>(
+      FlagLong(argc, argv, "--categories", 64));
+  const char* index_path = FlagValue(argc, argv, "--index", nullptr);
+  if (index_path != nullptr) options.disk_path = index_path;
+
+  // With a persisted bundle, prefer reopening it; fall back to building
+  // (which persists for the next start).
+  StatusOr<Index> index = Status::NotFound("no index yet");
+  if (index_path != nullptr) index = Index::Open(&*db, options);
+  if (!index.ok()) index = Index::Build(&*db, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  server::IndexHandle handle(std::move(*index));
+
+  server::ServerOptions server_options;
+  server_options.address = FlagValue(argc, argv, "--address", "127.0.0.1");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  server_options.port =
+      smoke ? 0 : static_cast<int>(FlagLong(argc, argv, "--port", 8787));
+  server_options.queue_capacity = static_cast<std::size_t>(
+      FlagLong(argc, argv, "--queue", 64));
+  server_options.max_batch =
+      static_cast<std::size_t>(FlagLong(argc, argv, "--batch", 8));
+  server_options.search_threads = static_cast<std::size_t>(
+      FlagLong(argc, argv, "--search-threads", 0));
+  server_options.connection_threads = static_cast<std::size_t>(
+      FlagLong(argc, argv, "--conn-threads", 4));
+
+  StatusOr<std::unique_ptr<server::Server>> srv =
+      server::Server::Start(&handle, server_options);
+  if (!srv.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 srv.status().ToString().c_str());
+    return 1;
+  }
+
+  if (smoke) {
+    const int rc = RunSmoke(**srv);
+    (*srv)->Shutdown();
+    return rc;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::printf("tswarpd serving %s (%s) on %s:%d\n", argv[2], kind.c_str(),
+              server_options.address.c_str(), (*srv)->port());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  (*srv)->Shutdown();
+  const server::ServerCounters c = (*srv)->Counters();
+  std::printf("served %llu requests (%llu searches, %llu rejected)\n",
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.completed),
+              static_cast<unsigned long long>(c.rejected));
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "serve") != 0) {
+    return tswarp::Usage();
+  }
+  return tswarp::Serve(argc, argv);
+}
