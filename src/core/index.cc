@@ -83,7 +83,10 @@ std::string FingerprintPath(const IndexOptions& options) {
   return options.disk_path + ".index";
 }
 
-suffixtree::DiskTreeOptions TreeOptionsFrom(const IndexOptions& options) {
+}  // namespace
+
+suffixtree::DiskTreeOptions TreeOptionsFromIndexOptions(
+    const IndexOptions& options) {
   suffixtree::DiskTreeOptions tree;
   tree.pool_pages = options.disk_pool_pages;
   tree.pool_shards = options.disk_pool_shards;
@@ -92,12 +95,10 @@ suffixtree::DiskTreeOptions TreeOptionsFrom(const IndexOptions& options) {
   return tree;
 }
 
-}  // namespace
-
 /// Derives the discretized symbol database (and categorizer state) for
 /// `db` under `options`. Deterministic: Build and Open share it.
 static Status DeriveSymbols(const seqdb::SequenceDatabase& db,
-                            const IndexOptions& options, Index* index,
+                            const IndexOptions& options,
                             suffixtree::SymbolDatabase* symbols,
                             std::optional<categorize::Alphabet>* alphabet,
                             std::vector<Value>* symbol_values,
@@ -116,7 +117,6 @@ static Status DeriveSymbols(const seqdb::SequenceDatabase& db,
     *symbols = suffixtree::SymbolDatabase(std::move(converted.sequences));
     info->num_categories = (*alphabet)->size();
   }
-  (void)index;
   return Status::OK();
 }
 
@@ -132,14 +132,17 @@ StatusOr<Index> Index::Build(const seqdb::SequenceDatabase* db,
         "kCategorized with min/max_suffix_length instead");
   }
 
-  Index index;
-  index.db_ = db;
-  index.options_ = options;
+  auto tier = std::make_shared<Tier>();
+  tier->first_seq = 0;
+  tier->db = db;
 
-  // 1. Discretize the element values.
-  TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &index, &index.symbols_,
-                                    &index.alphabet_, &index.symbol_values_,
-                                    &index.build_info_));
+  // 1. Discretize the element values. The symbol database is construction
+  // scratch: the tree materializes its labels, so it is dropped once the
+  // tier is assembled.
+  IndexBuildInfo base_info;
+  suffixtree::SymbolDatabase symbols;
+  TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &symbols, &tier->alphabet,
+                                    &tier->symbol_values, &base_info));
 
   // 2. Build the tree (in memory, or on disk via batched binary merges).
   suffixtree::BuildOptions build;
@@ -147,44 +150,35 @@ StatusOr<Index> Index::Build(const seqdb::SequenceDatabase* db,
   build.min_suffix_length = options.min_suffix_length;
   build.max_suffix_length = options.max_suffix_length;
 
-  const suffixtree::TreeView* view = nullptr;
-  std::uint64_t stored = 0;
+  std::uint64_t skipped = 0;
   if (options.disk_path.empty()) {
-    suffixtree::SuffixTreeBuilder builder(&index.symbols_, build);
-    for (SeqId id = 0; id < index.symbols_.size(); ++id) {
+    suffixtree::SuffixTreeBuilder builder(&symbols, build);
+    for (SeqId id = 0; id < symbols.size(); ++id) {
       builder.InsertSequence(id);
     }
-    stored = builder.stored_suffixes();
-    index.build_info_.skipped_suffixes = builder.skipped_suffixes();
-    index.memory_tree_ = builder.Build();
-    view = &*index.memory_tree_;
+    skipped = builder.skipped_suffixes();
+    tier->memory_tree = builder.Build();
   } else {
     suffixtree::DiskBuildOptions disk;
     disk.build = build;
     disk.batch_sequences = options.disk_batch_sequences;
-    disk.tree = TreeOptionsFrom(options);
+    disk.tree = TreeOptionsFromIndexOptions(options);
     TSW_ASSIGN_OR_RETURN(
-        index.disk_tree_,
-        suffixtree::BuildDiskTree(index.symbols_, options.disk_path, disk));
-    stored = index.disk_tree_->NumOccurrences();
-    index.build_info_.skipped_suffixes =
-        index.symbols_.TotalSymbols() - stored;
-    view = index.disk_tree_.get();
+        tier->disk_tree,
+        suffixtree::BuildDiskTree(symbols, options.disk_path, disk));
+    skipped = symbols.TotalSymbols() - tier->disk_tree->NumOccurrences();
   }
+  tier->info = ComputeTierInfo(*tier);
+  base_info.skipped_suffixes = skipped;
 
-  index.build_info_.index_bytes = view->SizeBytes();
-  index.build_info_.num_nodes = view->NumNodes();
-  index.build_info_.num_occurrences = view->NumOccurrences();
-  index.build_info_.stored_suffixes = stored;
-  const std::uint64_t total = stored + index.build_info_.skipped_suffixes;
-  index.build_info_.compaction_ratio =
-      total == 0 ? 0.0
-                 : static_cast<double>(index.build_info_.skipped_suffixes) /
-                       static_cast<double>(total);
   if (!options.disk_path.empty()) {
     TSW_RETURN_IF_ERROR(WriteFingerprint(FingerprintPath(options),
                                          MakeFingerprint(*db, options)));
   }
+  Index index;
+  index.snapshot_ = std::make_shared<const IndexSnapshot>(
+      options, base_info,
+      std::vector<std::shared_ptr<const Tier>>{std::move(tier)});
   return index;
 }
 
@@ -205,90 +199,135 @@ StatusOr<Index> Index::Open(const seqdb::SequenceDatabase* db,
         "options or a different database");
   }
 
-  Index index;
-  index.db_ = db;
-  index.options_ = options;
-  TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &index, &index.symbols_,
-                                    &index.alphabet_, &index.symbol_values_,
-                                    &index.build_info_));
+  auto tier = std::make_shared<Tier>();
+  tier->first_seq = 0;
+  tier->db = db;
+  IndexBuildInfo base_info;
+  suffixtree::SymbolDatabase symbols;
+  TSW_RETURN_IF_ERROR(DeriveSymbols(*db, options, &symbols, &tier->alphabet,
+                                    &tier->symbol_values, &base_info));
   TSW_ASSIGN_OR_RETURN(
-      index.disk_tree_,
+      tier->disk_tree,
       suffixtree::DiskSuffixTree::Open(options.disk_path,
-                                       TreeOptionsFrom(options)));
-
-  const suffixtree::TreeView* view = index.disk_tree_.get();
-  index.build_info_.index_bytes = view->SizeBytes();
-  index.build_info_.num_nodes = view->NumNodes();
-  index.build_info_.num_occurrences = view->NumOccurrences();
-  index.build_info_.stored_suffixes = view->NumOccurrences();
-  index.build_info_.skipped_suffixes =
-      index.symbols_.TotalSymbols() - view->NumOccurrences();
-  const std::uint64_t total = index.symbols_.TotalSymbols();
-  index.build_info_.compaction_ratio =
-      total == 0 ? 0.0
-                 : static_cast<double>(index.build_info_.skipped_suffixes) /
-                       static_cast<double>(total);
+                                       TreeOptionsFromIndexOptions(options)));
+  tier->info = ComputeTierInfo(*tier);
+  base_info.skipped_suffixes =
+      symbols.TotalSymbols() - tier->disk_tree->NumOccurrences();
+  Index index;
+  index.snapshot_ = std::make_shared<const IndexSnapshot>(
+      options, base_info,
+      std::vector<std::shared_ptr<const Tier>>{std::move(tier)});
   return index;
 }
 
-std::optional<suffixtree::RegionStats> Index::PoolStats() const {
-  if (disk_tree_ == nullptr) return std::nullopt;
-  return disk_tree_->PoolStats();
+IndexSnapshot::IndexSnapshot(IndexOptions options, IndexBuildInfo base_info,
+                             std::vector<std::shared_ptr<const Tier>> tiers)
+    : options_(std::move(options)),
+      build_info_(base_info),
+      tiers_(std::move(tiers)) {
+  TSW_CHECK(!tiers_.empty());
+  // Aggregate the additive counters over the tiers; the base_info supplies
+  // the non-additive fields (num_categories) and skipped_suffixes, which
+  // stays exact because appended tiers re-add their own skip counts via
+  // `elements - occurrences` below.
+  build_info_.index_bytes = 0;
+  build_info_.num_nodes = 0;
+  build_info_.num_occurrences = 0;
+  std::uint64_t elements = 0;
+  for (const std::shared_ptr<const Tier>& tier : tiers_) {
+    build_info_.index_bytes += tier->info.index_bytes;
+    build_info_.num_nodes += tier->info.nodes;
+    build_info_.num_occurrences += tier->info.occurrences;
+    elements += tier->info.elements;
+  }
+  build_info_.stored_suffixes = build_info_.num_occurrences;
+  build_info_.skipped_suffixes = elements - build_info_.num_occurrences;
+  build_info_.compaction_ratio =
+      elements == 0 ? 0.0
+                    : static_cast<double>(build_info_.skipped_suffixes) /
+                          static_cast<double>(elements);
+}
+
+std::size_t IndexSnapshot::total_sequences() const {
+  const Tier& last = *tiers_.back();
+  return static_cast<std::size_t>(last.first_seq) + last.info.sequences;
+}
+
+bool IndexSnapshot::on_disk() const {
+  for (const auto& tier : tiers_) {
+    if (tier->disk_tree != nullptr) return true;
+  }
+  return false;
+}
+
+const suffixtree::DiskSuffixTree* IndexSnapshot::disk_tree() const {
+  return tiers_.front()->disk_tree.get();
+}
+
+std::optional<suffixtree::RegionStats> IndexSnapshot::PoolStats() const {
+  bool any = false;
+  suffixtree::RegionStats total{};
+  for (const auto& tier : tiers_) {
+    if (tier->disk_tree == nullptr) continue;
+    const suffixtree::RegionStats s = tier->disk_tree->PoolStats();
+    if (!any) {
+      total = s;
+    } else {
+      total.nodes += s.nodes;
+      total.occs += s.occs;
+      total.labels += s.labels;
+    }
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return total;
 }
 
 namespace {
 
-TreeSearchConfig MakeConfig(const Index& index,
-                            const suffixtree::TreeView* tree,
-                            const seqdb::SequenceDatabase* db,
-                            const categorize::Alphabet* alphabet,
-                            const std::vector<Value>* symbol_values,
-                            const QueryOptions& query_options) {
-  TreeSearchConfig config;
-  config.tree = tree;
-  config.db = db;
-  config.exact = index.options().kind == IndexKind::kSuffixTree;
-  config.sparse = index.options().kind == IndexKind::kSparse;
-  config.alphabet = alphabet;
-  config.symbol_values = config.exact ? symbol_values : nullptr;
-  config.prune = query_options.prune;
-  config.use_lower_bound = query_options.use_lower_bound;
-  config.band = query_options.band;
-  config.num_threads = query_options.num_threads;
-  config.cancel = query_options.cancel;
-  return config;
+std::vector<TierSearchEntry> MakeEntries(const IndexSnapshot& snapshot,
+                                         const QueryOptions& query_options) {
+  const bool exact = snapshot.options().kind == IndexKind::kSuffixTree;
+  std::vector<TierSearchEntry> entries;
+  entries.reserve(snapshot.tiers().size());
+  for (const std::shared_ptr<const Tier>& tier : snapshot.tiers()) {
+    TierSearchEntry entry;
+    entry.config.tree = tier->view();
+    entry.config.db = tier->db;
+    entry.config.exact = exact;
+    entry.config.sparse = snapshot.options().kind == IndexKind::kSparse;
+    entry.config.alphabet =
+        tier->alphabet.has_value() ? &*tier->alphabet : nullptr;
+    entry.config.symbol_values = exact ? &tier->symbol_values : nullptr;
+    entry.config.prune = query_options.prune;
+    entry.config.use_lower_bound = query_options.use_lower_bound;
+    entry.config.band = query_options.band;
+    entry.config.num_threads = query_options.num_threads;
+    entry.config.cancel = query_options.cancel;
+    entry.seq_base = tier->first_seq;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 }  // namespace
 
-std::vector<Match> Index::Search(std::span<const Value> query, Value epsilon,
-                                 const QueryOptions& query_options,
-                                 SearchStats* stats) const {
-  const TreeSearchConfig config = MakeConfig(
-      *this,
-      memory_tree_.has_value()
-          ? static_cast<const suffixtree::TreeView*>(&*memory_tree_)
-          : disk_tree_.get(),
-      db_, alphabet_.has_value() ? &*alphabet_ : nullptr, &symbol_values_,
-      query_options);
-  return TreeSearch(config, query, epsilon, stats);
+std::vector<Match> IndexSnapshot::Search(std::span<const Value> query,
+                                         Value epsilon,
+                                         const QueryOptions& query_options,
+                                         SearchStats* stats) const {
+  return TierSearch(MakeEntries(*this, query_options), query, epsilon,
+                    stats);
 }
 
-std::vector<Match> Index::SearchKnn(std::span<const Value> query,
-                                    std::size_t k,
-                                    const QueryOptions& query_options,
-                                    SearchStats* stats) const {
-  const TreeSearchConfig config = MakeConfig(
-      *this,
-      memory_tree_.has_value()
-          ? static_cast<const suffixtree::TreeView*>(&*memory_tree_)
-          : disk_tree_.get(),
-      db_, alphabet_.has_value() ? &*alphabet_ : nullptr, &symbol_values_,
-      query_options);
-  return TreeSearchKnn(config, query, k, stats);
+std::vector<Match> IndexSnapshot::SearchKnn(std::span<const Value> query,
+                                            std::size_t k,
+                                            const QueryOptions& query_options,
+                                            SearchStats* stats) const {
+  return TierSearchKnn(MakeEntries(*this, query_options), query, k, stats);
 }
 
-std::vector<std::vector<Match>> Index::SearchBatch(
+std::vector<std::vector<Match>> IndexSnapshot::SearchBatch(
     const std::vector<std::vector<Value>>& queries,
     const std::vector<Value>& epsilons, const QueryOptions& query_options,
     std::vector<SearchStats>* stats) const {

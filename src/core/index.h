@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/match.h"
+#include "core/tier.h"
 #include "core/tree_search.h"
 #include "seqdb/sequence_database.h"
 #include "suffixtree/disk_tree.h"
@@ -29,6 +30,13 @@ enum class IndexKind {
 };
 
 const char* IndexKindToString(IndexKind kind);
+
+struct IndexOptions;
+
+/// Buffer-manager/runtime settings of `options` as DiskTreeOptions (shared
+/// by Index::Build/Open and the TieredIndex background merges).
+suffixtree::DiskTreeOptions TreeOptionsFromIndexOptions(
+    const IndexOptions& options);
 
 /// Build-time configuration of an Index.
 struct IndexOptions {
@@ -101,38 +109,33 @@ struct QueryOptions {
   const CancelToken* cancel = nullptr;
 };
 
-/// The public index: builds one of the paper's three structures over a
-/// SequenceDatabase and answers subsequence similarity queries under the
-/// time warping distance with no false dismissals.
+/// An immutable, reference-counted view of an index at one instant: an
+/// ordered stack of tiers covering disjoint, contiguous global sequence
+/// ranges (a monolithic index is one tier; a TieredIndex adds sealed
+/// appended tiers and a memtable tier on top). ALL query entry points live
+/// here; Index and TieredIndex are handles that produce snapshots.
 ///
-/// The database must outlive the index.
+/// Searches fan out across the tiers through one shared ResultCollector —
+/// one shrinking k-NN epsilon, one deterministic merge — and return
+/// matches with global sequence ids, byte-identical to a monolithic index
+/// over the same data (every engine verifies candidates exactly, so the
+/// per-tier symbol tables never change the match set).
 ///
-/// Thread safety: every const member (Search, SearchKnn, SearchBatch,
-/// PoolStats, build_info, ...) may be called from any number of threads
-/// concurrently, and Build/Open construct independent instances touching
-/// no shared mutable state, so opening one index is safe while another —
-/// even one over the same on-disk bundle — is serving reads. What is NOT
-/// safe is mutating an Index *object* (move-assigning a reopened index
-/// into a slot readers are using): a long-lived server that hot-swaps its
-/// index must publish instances through snapshot semantics instead (see
-/// server::IndexHandle and the ServerIndexReload regression test).
-class Index {
+/// Thread safety: snapshots are immutable after construction; every
+/// member may be called from any number of threads concurrently. Holding
+/// the shared_ptr pins every tier (trees, buffer managers, database
+/// fragments), so queries keep running against retired tiers safely while
+/// appends and merges publish newer snapshots.
+class IndexSnapshot {
  public:
-  static StatusOr<Index> Build(const seqdb::SequenceDatabase* db,
-                               const IndexOptions& options);
+  /// Assembles a snapshot from tiers (ordered by first_seq). `base_info`
+  /// contributes the non-additive fields (num_categories, ...); the
+  /// additive counters are re-aggregated over the tiers.
+  IndexSnapshot(IndexOptions options, IndexBuildInfo base_info,
+                std::vector<std::shared_ptr<const Tier>> tiers);
 
-  /// Reopens a disk-backed index previously Build()-t with
-  /// `options.disk_path` set, against the same database. The categorizer
-  /// state is re-derived deterministically from (db, options); the tree is
-  /// opened from the bundle without rebuilding. A fingerprint written at
-  /// build time guards against mismatched databases or options.
-  static StatusOr<Index> Open(const seqdb::SequenceDatabase* db,
-                              const IndexOptions& options);
-
-  Index(Index&&) = default;
-  Index& operator=(Index&&) = default;
-  Index(const Index&) = delete;
-  Index& operator=(const Index&) = delete;
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
 
   /// All subsequences with D_tw(query, subsequence) <= epsilon, sorted by
   /// (seq, start, len).
@@ -142,7 +145,7 @@ class Index {
 
   /// The k subsequences nearest to `query` under D_tw, sorted by distance
   /// (branch-and-bound over the same filter; ties at the k-th distance are
-  /// broken arbitrarily).
+  /// broken deterministically by (distance, seq, start, len)).
   std::vector<Match> SearchKnn(std::span<const Value> query, std::size_t k,
                                const QueryOptions& query_options = {},
                                SearchStats* stats = nullptr) const;
@@ -163,32 +166,114 @@ class Index {
   const IndexBuildInfo& build_info() const { return build_info_; }
   const IndexOptions& options() const { return options_; }
 
+  const std::vector<std::shared_ptr<const Tier>>& tiers() const {
+    return tiers_;
+  }
+
+  /// Total sequences covered (global id space size).
+  std::size_t total_sequences() const;
+
+  /// True iff any tier is disk-backed.
+  bool on_disk() const;
+
+  /// The base (first) tier's disk tree, or nullptr for in-memory bases;
+  /// exposes buffer-manager statistics for I/O experiments.
+  const suffixtree::DiskSuffixTree* disk_tree() const;
+
+  /// Per-region buffer-manager statistics summed over every disk-backed
+  /// tier, or nullopt when none is.
+  std::optional<suffixtree::RegionStats> PoolStats() const;
+
+ private:
+  IndexOptions options_;
+  IndexBuildInfo build_info_;
+  std::vector<std::shared_ptr<const Tier>> tiers_;
+};
+
+/// The public index: builds one of the paper's three structures over a
+/// SequenceDatabase and answers subsequence similarity queries under the
+/// time warping distance with no false dismissals.
+///
+/// An Index is a thin immutable handle over a one-tier IndexSnapshot —
+/// construction (Build/Open) produces the snapshot, and every query
+/// method delegates to it. The database must outlive the index (and any
+/// snapshot taken from it).
+///
+/// Thread safety: every const member (Search, SearchKnn, SearchBatch,
+/// PoolStats, build_info, ...) may be called from any number of threads
+/// concurrently, and Build/Open construct independent instances touching
+/// no shared mutable state, so opening one index is safe while another —
+/// even one over the same on-disk bundle — is serving reads. Move
+/// *assignment* is deleted: swapping a live Index in place under
+/// concurrent readers was the PR 7 server race, and snapshot publication
+/// (server::IndexHandle / TieredIndex) is the only sanctioned swap path.
+class Index {
+ public:
+  static StatusOr<Index> Build(const seqdb::SequenceDatabase* db,
+                               const IndexOptions& options);
+
+  /// Reopens a disk-backed index previously Build()-t with
+  /// `options.disk_path` set, against the same database. The categorizer
+  /// state is re-derived deterministically from (db, options); the tree is
+  /// opened from the bundle without rebuilding. A fingerprint written at
+  /// build time guards against mismatched databases or options.
+  static StatusOr<Index> Open(const seqdb::SequenceDatabase* db,
+                              const IndexOptions& options);
+
+  Index(Index&&) = default;
+  Index& operator=(Index&&) = delete;
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  std::vector<Match> Search(std::span<const Value> query, Value epsilon,
+                            const QueryOptions& query_options = {},
+                            SearchStats* stats = nullptr) const {
+    return snapshot_->Search(query, epsilon, query_options, stats);
+  }
+
+  std::vector<Match> SearchKnn(std::span<const Value> query, std::size_t k,
+                               const QueryOptions& query_options = {},
+                               SearchStats* stats = nullptr) const {
+    return snapshot_->SearchKnn(query, k, query_options, stats);
+  }
+
+  std::vector<std::vector<Match>> SearchBatch(
+      const std::vector<std::vector<Value>>& queries,
+      const std::vector<Value>& epsilons,
+      const QueryOptions& query_options = {},
+      std::vector<SearchStats>* stats = nullptr) const {
+    return snapshot_->SearchBatch(queries, epsilons, query_options, stats);
+  }
+
+  const IndexBuildInfo& build_info() const {
+    return snapshot_->build_info();
+  }
+  const IndexOptions& options() const { return snapshot_->options(); }
+
   /// Non-null iff the index was built with a disk_path; exposes buffer
   /// manager statistics for I/O experiments.
   const suffixtree::DiskSuffixTree* disk_tree() const {
-    return disk_tree_.get();
+    return snapshot_->disk_tree();
   }
 
   /// Per-region buffer-manager statistics of the disk-backed tree, or
   /// nullopt for in-memory indexes.
-  std::optional<suffixtree::RegionStats> PoolStats() const;
+  std::optional<suffixtree::RegionStats> PoolStats() const {
+    return snapshot_->PoolStats();
+  }
+
+  /// The underlying immutable snapshot. Shared: the snapshot (and through
+  /// it every tier) stays alive as long as any holder keeps the pointer,
+  /// independent of this Index object — the handoff used by
+  /// server::IndexHandle and TieredIndex.
+  std::shared_ptr<const IndexSnapshot> snapshot() const { return snapshot_; }
 
  private:
+  friend class TieredIndex;
+
   Index() = default;
 
-  const seqdb::SequenceDatabase* db_ = nullptr;
-  IndexOptions options_;
-  IndexBuildInfo build_info_;
-
-  // Categorized modes.
-  std::optional<categorize::Alphabet> alphabet_;
-  // Exact mode.
-  std::vector<Value> symbol_values_;
-
-  suffixtree::SymbolDatabase symbols_;
-  // Exactly one of these two holds the tree.
-  std::optional<suffixtree::SuffixTree> memory_tree_;
-  std::unique_ptr<suffixtree::DiskSuffixTree> disk_tree_;
+  std::shared_ptr<const IndexSnapshot> snapshot_;
 };
 
 }  // namespace tswarp::core

@@ -118,6 +118,14 @@ struct DriverConfig {
   /// scheduler, arenas, and collector remain reusable afterwards (queued
   /// branch tasks still run; they just return immediately).
   const CancelToken* cancel = nullptr;
+
+  /// Added to every reported Match::seq. Tiered searches run one driver
+  /// per tier over tier-local sequence ids (the tier's own database
+  /// fragment); the offset rebases matches to global ids at report time,
+  /// so the shared collector's ordering and k-NN tie-breaks see the same
+  /// ids a monolithic index would produce. Occurrence ids stay tier-local
+  /// throughout the traversal and verification (database lookups).
+  SeqId seq_base = 0;
 };
 
 /// Per-query shared state, owned for the query's whole lifetime: the
@@ -255,15 +263,20 @@ class SearchDriver {
            "dropped leading symbols (build a dense index instead)";
   }
 
-  /// Runs the search against `ctx` (freshly constructed for this query)
-  /// and returns the sorted answers; fills *stats when non-null.
-  std::vector<Match> Run(QueryContext* ctx, SearchStats* stats) {
+  /// Runs the traversal against `ctx` and drains this driver's answers
+  /// into the shared collector and its traversal counters into
+  /// `*stats_sink` — without consuming the collector. Tiered searches
+  /// call RunInto once per tier against one shared QueryContext (one
+  /// shrinking epsilon across tiers) with per-tier stats sinks, then
+  /// Take() the merged result once; each sink is written only by this
+  /// call, so concurrent per-tier drivers never touch shared stats.
+  void RunInto(QueryContext* ctx, SearchStats* stats_sink) {
     if (config_.num_threads == 0) {
       Worker worker(config_, model_, ctx, /*parallel=*/false);
       BranchTask root;
       root.node = config_.tree->Root();
       worker.RunTask(root, nullptr);
-      worker.Drain(ctx);
+      worker.Drain(stats_sink);
     } else {
       TaskScheduler& scheduler = TaskScheduler::Get();
       scheduler.EnsureWorkers(config_.num_threads);
@@ -273,15 +286,20 @@ class SearchDriver {
       root.node = config_.tree->Root();
       par.Submit(std::move(root));
       par.scope.Wait();  // Rethrows the first task exception, if any.
-      par.DrainAll(ctx);
-      ctx->stats.tasks_executed += par.scope.tasks_executed();
-      ctx->stats.tasks_stolen += par.scope.tasks_stolen();
+      par.DrainAll(stats_sink);
+      stats_sink->tasks_executed += par.scope.tasks_executed();
+      stats_sink->tasks_stolen += par.scope.tasks_stolen();
       // Process-wide probe delta over the query window; concurrent
       // unrelated searches share the counter (documented in match.h).
-      ctx->stats.steal_attempts +=
+      stats_sink->steal_attempts +=
           scheduler.steal_attempts() - probes_before;
     }
+  }
 
+  /// Runs the search against `ctx` (freshly constructed for this query)
+  /// and returns the sorted answers; fills *stats when non-null.
+  std::vector<Match> Run(QueryContext* ctx, SearchStats* stats) {
+    RunInto(ctx, &ctx->stats);
     std::vector<Match> answers = ctx->collector.Take();
     ctx->stats.answers = answers.size();
     if (stats != nullptr) *stats = ctx->stats;
@@ -346,11 +364,12 @@ class SearchDriver {
       stats_.cells_computed += table.cells_computed() - cells_before;
     }
 
-    /// Publishes this worker's answers and stats into the shared state.
-    /// Called single-threaded (serially, or after the scope joined).
-    void Drain(QueryContext* ctx) {
+    /// Publishes this worker's answers into the shared collector and its
+    /// stats into `*sink`. Called single-threaded (serially, or after the
+    /// scope joined).
+    void Drain(SearchStats* sink) {
       collector_.DrainRange(&answers_);
-      ctx->stats.Merge(stats_);
+      sink->Merge(stats_);
     }
 
    private:
@@ -612,7 +631,10 @@ class SearchDriver {
       Report({seq, start, len, d});
     }
 
-    void Report(const Match& m) {
+    void Report(Match m) {
+      // Rebase tier-local sequence ids to global ids before the match
+      // enters the shared ordering (range sort and k-NN tie-breaks).
+      m.seq += config_.seq_base;
       collector_.Report(m, &answers_);
       // A k-NN report may have shrunk the shared threshold; fold it into
       // the cache immediately so this worker prunes with its own result.
@@ -659,8 +681,8 @@ class SearchDriver {
       });
     }
 
-    void DrainAll(QueryContext* query_ctx) {
-      for (auto& slot : workers) slot.second->Drain(query_ctx);
+    void DrainAll(SearchStats* sink) {
+      for (auto& slot : workers) slot.second->Drain(sink);
     }
 
     const DriverConfig& config;

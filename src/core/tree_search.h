@@ -88,6 +88,39 @@ std::vector<Match> TreeSearchKnn(const TreeSearchConfig& config,
                                  std::span<const Value> query, std::size_t k,
                                  SearchStats* stats = nullptr);
 
+/// One tier of a multi-tier (LSM-style) search: a complete per-tier
+/// search configuration — the tier's own tree, database fragment, and
+/// symbol tables, all addressed by tier-local sequence ids — plus the
+/// offset that rebases the tier's local ids onto the global id space
+/// (`global seq = local seq + seq_base`).
+struct TierSearchEntry {
+  TreeSearchConfig config;
+  SeqId seq_base = 0;
+};
+
+/// Range search fanned out across index tiers. All tiers share ONE
+/// QueryContext: one query envelope (it depends only on the query and the
+/// band), one ResultCollector, and — for k-NN — one shrinking epsilon, so
+/// a tight match in any tier prunes every other tier. Serial
+/// (num_threads == 0) runs the tiers in order; parallel submits one
+/// scheduler task per tier, each of which runs its own lazily-splitting
+/// parallel traversal (nested fork/join scopes are deadlock-free).
+/// Matches carry global sequence ids, and the merged result is
+/// byte-identical to searching a monolithic index over the concatenated
+/// data: every engine verifies candidates exactly, so per-tier symbol
+/// tables (wider category intervals, extended dictionaries) never change
+/// the match set. Every tier must agree on the query-shape knobs (exact,
+/// sparse, band, prune, use_lower_bound, num_threads, cancel).
+std::vector<Match> TierSearch(std::span<const TierSearchEntry> tiers,
+                              std::span<const Value> query, Value epsilon,
+                              SearchStats* stats = nullptr);
+
+/// k-NN across tiers; see TierSearch. The k-th-best threshold is shared
+/// by all tiers through the one collector.
+std::vector<Match> TierSearchKnn(std::span<const TierSearchEntry> tiers,
+                                 std::span<const Value> query, std::size_t k,
+                                 SearchStats* stats = nullptr);
+
 }  // namespace tswarp::core
 
 #endif  // TSWARP_CORE_TREE_SEARCH_H_

@@ -12,7 +12,9 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -99,6 +101,44 @@ bool SendAll(int fd, std::string_view data) {
   return true;
 }
 
+JsonValue MatchesToJson(std::span<const core::Match> matches) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const core::Match& m : matches) {
+    JsonValue obj = JsonValue::MakeObject();
+    obj.Set("distance", JsonValue::MakeNumber(m.distance));
+    obj.Set("len", JsonValue::MakeNumber(static_cast<double>(m.len)));
+    obj.Set("seq", JsonValue::MakeNumber(static_cast<double>(m.seq)));
+    obj.Set("start", JsonValue::MakeNumber(static_cast<double>(m.start)));
+    arr.MutableArray()->push_back(std::move(obj));
+  }
+  return arr;
+}
+
+/// Per-registration delivery buffer of a continuous query served over
+/// HTTP: the TieredIndex callback pushes new matches here (bounded;
+/// overflow drops the oldest and counts), and /continuous/poll drains it.
+/// shared_ptr-owned by both the callback closure and the server map, so a
+/// late callback after unregister/shutdown is harmless.
+struct ContinuousChannel {
+  static constexpr std::size_t kBufferCap = 4096;
+
+  std::mutex mu;
+  std::deque<core::Match> buffer;
+  std::uint64_t delivered = 0;  // Matches handed to clients via poll.
+  std::uint64_t dropped = 0;    // Overflowed matches (client too slow).
+
+  void Push(const std::vector<core::Match>& matches) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const core::Match& m : matches) {
+      if (buffer.size() >= kBufferCap) {
+        buffer.pop_front();
+        ++dropped;
+      }
+      buffer.push_back(m);
+    }
+  }
+};
+
 }  // namespace
 
 std::string ErrorBody(std::string_view code, std::string_view message) {
@@ -116,16 +156,7 @@ std::string SearchResponseBody(std::string_view status_word,
   JsonValue root = JsonValue::MakeObject();
   root.Set("count",
            JsonValue::MakeNumber(static_cast<double>(matches.size())));
-  JsonValue arr = JsonValue::MakeArray();
-  for (const core::Match& m : matches) {
-    JsonValue obj = JsonValue::MakeObject();
-    obj.Set("distance", JsonValue::MakeNumber(m.distance));
-    obj.Set("len", JsonValue::MakeNumber(static_cast<double>(m.len)));
-    obj.Set("seq", JsonValue::MakeNumber(static_cast<double>(m.seq)));
-    obj.Set("start", JsonValue::MakeNumber(static_cast<double>(m.start)));
-    arr.MutableArray()->push_back(std::move(obj));
-  }
-  root.Set("matches", std::move(arr));
+  root.Set("matches", MatchesToJson(matches));
   if (stats != nullptr) root.Set("stats", StatsToJson(*stats));
   root.Set("status", JsonValue::MakeString(std::string(status_word)));
   return root.Dump();
@@ -148,6 +179,10 @@ struct Server::Impl {
 
   mutable std::mutex counters_mu;
   ServerCounters counters;
+
+  // HTTP-registered continuous queries, keyed by the TieredIndex query id.
+  std::mutex continuous_mu;
+  std::map<std::uint64_t, std::shared_ptr<ContinuousChannel>> continuous;
 
   ~Impl() {
     if (listen_fd >= 0) ::close(listen_fd);
@@ -311,9 +346,199 @@ struct Server::Impl {
       if (request.method != "POST") return MethodNotAllowed("POST");
       return HandleSearch(request);
     }
+    if (request.target == "/append") {
+      if (request.method != "POST") return MethodNotAllowed("POST");
+      return HandleAppend(request);
+    }
+    if (request.target == "/continuous/register") {
+      if (request.method != "POST") return MethodNotAllowed("POST");
+      return HandleContinuousRegister(request);
+    }
+    if (request.target == "/continuous/poll") {
+      if (request.method != "POST") return MethodNotAllowed("POST");
+      return HandleContinuousPoll(request);
+    }
+    if (request.target == "/continuous/unregister") {
+      if (request.method != "POST") return MethodNotAllowed("POST");
+      return HandleContinuousUnregister(request);
+    }
     CountProtocolError();
     return ErrorResponse(404, "not_found",
                          "unknown path " + request.target);
+  }
+
+  /// POST /append {"values":[...]} — streams one sequence into the
+  /// TieredIndex behind the handle. Runs on the connection thread:
+  /// TieredIndex::Append is internally serialized and thread-safe against
+  /// searches, so appends need no trip through the admission queue (which
+  /// exists to bound *search* concurrency).
+  HttpResponse HandleAppend(const HttpRequest& request) {
+    core::TieredIndex* tiered = index->tiered();
+    if (tiered == nullptr) {
+      CountProtocolError();
+      return ErrorResponse(400, "append_unsupported",
+                           "this server serves a static index");
+    }
+    if (draining.load(std::memory_order_relaxed)) {
+      CountProtocolError();
+      return ErrorResponse(503, "draining", "server is shutting down");
+    }
+    StatusOr<JsonValue> body = ParseJson(request.body);
+    if (!body.ok()) {
+      CountProtocolError();
+      return ErrorResponse(400, "bad_json", body.status().message());
+    }
+    const JsonValue* values =
+        body->is_object() ? body->Find("values") : nullptr;
+    if (values == nullptr || !values->is_array() ||
+        values->AsArray().empty()) {
+      CountProtocolError();
+      return ErrorResponse(400, "invalid_values",
+                           "\"values\" must be a non-empty array of numbers");
+    }
+    seqdb::Sequence seq;
+    seq.reserve(values->AsArray().size());
+    for (const JsonValue& v : values->AsArray()) {
+      if (!v.is_number()) {
+        CountProtocolError();
+        return ErrorResponse(400, "invalid_values",
+                             "\"values\" must contain only numbers");
+      }
+      seq.push_back(v.AsNumber());
+    }
+    StatusOr<SeqId> id = tiered->Append(std::move(seq));
+    if (!id.ok()) {
+      CountProtocolError();
+      return ErrorResponse(400, "append_failed", id.status().message());
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu);
+      ++counters.appends;
+    }
+    JsonValue root = JsonValue::MakeObject();
+    root.Set("seq", JsonValue::MakeNumber(static_cast<double>(*id)));
+    return JsonResponse(200, root.Dump());
+  }
+
+  /// POST /continuous/register {"query":[...], "epsilon":E} — registers a
+  /// standing query on the TieredIndex; matches produced by future appends
+  /// accumulate in a bounded per-query buffer drained by /continuous/poll.
+  HttpResponse HandleContinuousRegister(const HttpRequest& request) {
+    core::TieredIndex* tiered = index->tiered();
+    if (tiered == nullptr) {
+      CountProtocolError();
+      return ErrorResponse(400, "append_unsupported",
+                           "this server serves a static index");
+    }
+    StatusOr<JsonValue> body = ParseJson(request.body);
+    if (!body.ok()) {
+      CountProtocolError();
+      return ErrorResponse(400, "bad_json", body.status().message());
+    }
+    const JsonValue* query =
+        body->is_object() ? body->Find("query") : nullptr;
+    const JsonValue* epsilon =
+        body->is_object() ? body->Find("epsilon") : nullptr;
+    if (query == nullptr || !query->is_array() || query->AsArray().empty() ||
+        epsilon == nullptr || !epsilon->is_number() ||
+        epsilon->AsNumber() < 0) {
+      CountProtocolError();
+      return ErrorResponse(400, "invalid_request",
+                           "need \"query\" (non-empty number array) and "
+                           "\"epsilon\" (number >= 0)");
+    }
+    std::vector<Value> q;
+    q.reserve(query->AsArray().size());
+    for (const JsonValue& v : query->AsArray()) {
+      if (!v.is_number()) {
+        CountProtocolError();
+        return ErrorResponse(400, "invalid_query",
+                             "\"query\" must contain only numbers");
+      }
+      q.push_back(v.AsNumber());
+    }
+    auto channel = std::make_shared<ContinuousChannel>();
+    const std::uint64_t id = tiered->RegisterContinuous(
+        std::move(q), epsilon->AsNumber(),
+        [channel](std::uint64_t, const std::vector<core::Match>& matches) {
+          channel->Push(matches);
+        });
+    {
+      std::lock_guard<std::mutex> lock(continuous_mu);
+      continuous[id] = std::move(channel);
+    }
+    JsonValue root = JsonValue::MakeObject();
+    root.Set("id", JsonValue::MakeNumber(static_cast<double>(id)));
+    return JsonResponse(200, root.Dump());
+  }
+
+  std::shared_ptr<ContinuousChannel> FindChannel(const HttpRequest& request,
+                                                 std::uint64_t* id,
+                                                 HttpResponse* error) {
+    StatusOr<JsonValue> body = ParseJson(request.body);
+    const JsonValue* idv =
+        body.ok() && body->is_object() ? body->Find("id") : nullptr;
+    double id_num = 0;
+    if (idv == nullptr || !AsCount(*idv, 1e15, &id_num)) {
+      CountProtocolError();
+      *error = ErrorResponse(400, "invalid_request",
+                             "\"id\" must be a registration id");
+      return nullptr;
+    }
+    *id = static_cast<std::uint64_t>(id_num);
+    std::lock_guard<std::mutex> lock(continuous_mu);
+    auto it = continuous.find(*id);
+    if (it == continuous.end()) {
+      CountProtocolError();
+      *error = ErrorResponse(404, "unknown_id",
+                             "no continuous query with that id");
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  /// POST /continuous/poll {"id":N} — drains the buffered matches.
+  HttpResponse HandleContinuousPoll(const HttpRequest& request) {
+    std::uint64_t id = 0;
+    HttpResponse error;
+    std::shared_ptr<ContinuousChannel> channel =
+        FindChannel(request, &id, &error);
+    if (channel == nullptr) return error;
+    std::vector<core::Match> drained;
+    std::uint64_t dropped = 0;
+    std::uint64_t delivered = 0;
+    {
+      std::lock_guard<std::mutex> lock(channel->mu);
+      drained.assign(channel->buffer.begin(), channel->buffer.end());
+      channel->buffer.clear();
+      channel->delivered += drained.size();
+      delivered = channel->delivered;
+      dropped = channel->dropped;
+    }
+    JsonValue root = JsonValue::MakeObject();
+    root.Set("count",
+             JsonValue::MakeNumber(static_cast<double>(drained.size())));
+    root.Set("delivered",
+             JsonValue::MakeNumber(static_cast<double>(delivered)));
+    root.Set("dropped", JsonValue::MakeNumber(static_cast<double>(dropped)));
+    root.Set("id", JsonValue::MakeNumber(static_cast<double>(id)));
+    root.Set("matches", MatchesToJson(drained));
+    return JsonResponse(200, root.Dump());
+  }
+
+  /// POST /continuous/unregister {"id":N}.
+  HttpResponse HandleContinuousUnregister(const HttpRequest& request) {
+    std::uint64_t id = 0;
+    HttpResponse error;
+    std::shared_ptr<ContinuousChannel> channel =
+        FindChannel(request, &id, &error);
+    if (channel == nullptr) return error;
+    index->tiered()->Unregister(id);
+    {
+      std::lock_guard<std::mutex> lock(continuous_mu);
+      continuous.erase(id);
+    }
+    return JsonResponse(200, "{\"status\":\"ok\"}");
   }
 
   HttpResponse MethodNotAllowed(const char* allow) {
@@ -328,7 +553,7 @@ struct Server::Impl {
   /// Parses and validates a /search body into `*job`. On failure fills
   /// `*error` with the 400 response and returns false. `index` supplies
   /// the context-dependent rules (band vs. sparse index).
-  bool ValidateSearch(const JsonValue& body, const core::Index& index,
+  bool ValidateSearch(const JsonValue& body, const core::IndexSnapshot& index,
                       SearchJob* job, HttpResponse* error) {
     const auto fail = [&](std::string_view code, const std::string& message) {
       *error = ErrorResponse(400, code, message);
@@ -443,7 +668,7 @@ struct Server::Impl {
     auto job = std::make_unique<SearchJob>();
     HttpResponse error;
     {
-      const std::shared_ptr<const core::Index> snapshot = index->Snapshot();
+      const std::shared_ptr<const core::IndexSnapshot> snapshot = index->Snapshot();
       if (!ValidateSearch(*body, *snapshot, job.get(), &error)) {
         CountProtocolError();
         return error;
@@ -483,7 +708,7 @@ struct Server::Impl {
 
   std::string StatsBody() {
     const ServerCounters c = Snapshot();
-    const std::shared_ptr<const core::Index> idx = index->Snapshot();
+    const std::shared_ptr<const core::IndexSnapshot> idx = index->Snapshot();
     const auto num = [](std::uint64_t v) {
       return JsonValue::MakeNumber(static_cast<double>(v));
     };
@@ -496,8 +721,38 @@ struct Server::Impl {
     index_obj.Set("nodes", num(idx->build_info().num_nodes));
     index_obj.Set("occurrences", num(idx->build_info().num_occurrences));
     index_obj.Set("index_bytes", num(idx->build_info().index_bytes));
-    index_obj.Set("disk", JsonValue::MakeBool(idx->disk_tree() != nullptr));
+    index_obj.Set("disk", JsonValue::MakeBool(idx->on_disk()));
+    index_obj.Set("sequences", num(idx->total_sequences()));
+    // Per-tier breakdown of the snapshot being served (one entry for a
+    // monolithic index; base + sealed + memtable for a tiered one).
+    JsonValue tiers = JsonValue::MakeArray();
+    for (const auto& tier : idx->tiers()) {
+      JsonValue t = JsonValue::MakeObject();
+      t.Set("first_seq", num(tier->info.first_seq));
+      t.Set("sequences", num(tier->info.sequences));
+      t.Set("elements", num(tier->info.elements));
+      t.Set("nodes", num(tier->info.nodes));
+      t.Set("occurrences", num(tier->info.occurrences));
+      t.Set("index_bytes", num(tier->info.index_bytes));
+      t.Set("on_disk", JsonValue::MakeBool(tier->info.on_disk));
+      t.Set("memtable", JsonValue::MakeBool(tier->info.memtable));
+      tiers.MutableArray()->push_back(std::move(t));
+    }
+    index_obj.Set("tiers", std::move(tiers));
     root.Set("index", std::move(index_obj));
+    if (core::TieredIndex* tiered = index->tiered()) {
+      const core::TieredStats ts = tiered->Stats();
+      JsonValue t = JsonValue::MakeObject();
+      t.Set("appended_sequences", num(ts.appended_sequences));
+      t.Set("memtable_sequences", num(ts.memtable_sequences));
+      t.Set("sealed_tiers", num(ts.sealed_tiers));
+      t.Set("pending_merges", num(ts.pending_merges));
+      t.Set("merges_completed", num(ts.merges_completed));
+      t.Set("merges_cancelled", num(ts.merges_cancelled));
+      t.Set("continuous_queries", num(ts.continuous_queries));
+      t.Set("appends", num(c.appends));
+      root.Set("tiered", std::move(t));
+    }
     JsonValue queue = JsonValue::MakeObject();
     queue.Set("capacity", num(options.queue_capacity));
     queue.Set("depth", num(c.queue_depth));
@@ -539,7 +794,7 @@ struct Server::Impl {
     while (true) {
       round.clear();
       if (jobs->PopBatch(&round, options.max_batch) == 0) break;
-      const std::shared_ptr<const core::Index> idx = index->Snapshot();
+      const std::shared_ptr<const core::IndexSnapshot> idx = index->Snapshot();
       // Partition the round: range queries without a deadline coalesce
       // into SearchBatch groups keyed by the options SearchBatch shares
       // across its queries; everything else runs individually.
@@ -578,7 +833,7 @@ struct Server::Impl {
 
   /// Re-checks the one validation rule that depends on the index, which
   /// may have been hot-swapped between admission and execution.
-  bool RecheckBand(SearchJob* job, const core::Index& idx) {
+  bool RecheckBand(SearchJob* job, const core::IndexSnapshot& idx) {
     if (job->opts.band != 0 &&
         idx.options().kind == core::IndexKind::kSparse) {
       CountProtocolError();
@@ -590,7 +845,7 @@ struct Server::Impl {
     return true;
   }
 
-  void RunGroup(std::vector<JobPtr> group, const core::Index& idx) {
+  void RunGroup(std::vector<JobPtr> group, const core::IndexSnapshot& idx) {
     // A member can fail the band recheck if the index was hot-swapped
     // after admission; it is answered 400 and its siblings still run.
     std::vector<JobPtr> valid;
@@ -639,7 +894,7 @@ struct Server::Impl {
     }
   }
 
-  void RunSingle(SearchJob* job, const core::Index& idx) {
+  void RunSingle(SearchJob* job, const core::IndexSnapshot& idx) {
     if (!RecheckBand(job, idx)) return;
     if (job->has_deadline && job->cancel.Expired()) {
       {
@@ -689,6 +944,13 @@ struct Server::Impl {
       if (listen_fd >= 0) {
         ::close(listen_fd);
         listen_fd = -1;
+      }
+      // Detach continuous queries so the tiered index never calls back
+      // into a server that is going away.
+      if (core::TieredIndex* tiered = index->tiered()) {
+        std::lock_guard<std::mutex> lock(continuous_mu);
+        for (const auto& [id, channel] : continuous) tiered->Unregister(id);
+        continuous.clear();
       }
     });
   }

@@ -71,6 +71,7 @@ struct ServerCounters {
   std::uint64_t protocol_errors = 0;   // 4xx/5xx other than 429/504.
   std::uint64_t batches = 0;           // SearchBatch calls with >= 2 queries.
   std::uint64_t coalesced = 0;         // Queries that rode those batches.
+  std::uint64_t appends = 0;           // Sequences accepted via /append.
   std::size_t queue_depth = 0;         // Searches queued right now.
   std::size_t queue_high_water = 0;    // Deepest the queue has been.
   core::SearchStats search;            // Merged over all executed searches.

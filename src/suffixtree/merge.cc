@@ -14,20 +14,43 @@ namespace {
 /// ancestor frame.
 class Merger {
  public:
-  Merger(const TreeView& a, const TreeView& b, TreeSink* out)
-      : a_(a), b_(b), out_(out) {}
+  Merger(const TreeView& a, const TreeView& b, TreeSink* out,
+         const std::atomic<bool>* cancel)
+      : a_(a), b_(b), out_(out), cancel_(cancel) {}
 
-  void Run() {
+  /// Returns false iff the merge was cancelled (the sink is then left
+  /// unfinalized and must be discarded).
+  bool Run() {
     // The merge visits both inputs roughly front to back (node ids are
     // allocated in creation order); let disk-backed views stream.
     a_.HintSequentialScan();
     b_.HintSequentialScan();
     const NodeId root = out_->AddNode(kNilNode, {});
-    MergeNodes(a_.Root(), b_.Root(), root);
+    try {
+      MergeNodes(a_.Root(), b_.Root(), root);
+    } catch (const Cancelled&) {
+      return false;
+    }
     out_->Finalize();
+    return true;
   }
 
  private:
+  /// Internal unwinding token for cooperative cancellation; never escapes
+  /// MergeTrees.
+  struct Cancelled {};
+
+  /// Cancellation poll, amortized to one relaxed load every
+  /// kCancelPollNodes output nodes. Throwing unwinds the whole recursion
+  /// in one step, leaving the sink unfinalized.
+  void PollCancel() {
+    static constexpr std::uint32_t kCancelPollNodes = 256;
+    if (cancel_ == nullptr) return;
+    if (++cancel_polls_ < kCancelPollNodes) return;
+    cancel_polls_ = 0;
+    if (cancel_->load(std::memory_order_relaxed)) throw Cancelled{};
+  }
+
   void CopyOccurrences(const TreeView& v, NodeId from, NodeId to) {
     occ_buf_.clear();
     v.GetOccurrences(from, &occ_buf_);
@@ -38,6 +61,7 @@ class Merger {
   /// edge into `node` still has `label` pending.
   void CopySubtree(const TreeView& v, std::span<const Symbol> label,
                    NodeId node, NodeId out_parent) {
+    PollCancel();
     const NodeId m = out_->AddNode(out_parent, label);
     CopyOccurrences(v, node, m);
     Children children;
@@ -50,6 +74,7 @@ class Merger {
   /// Merges two *nodes* (both positions are exactly at a node). The output
   /// node `on` already exists; this fills its occurrences and children.
   void MergeNodes(NodeId na, NodeId nb, NodeId on) {
+    PollCancel();
     CopyOccurrences(a_, na, on);
     CopyOccurrences(b_, nb, on);
     Children ca, cb;
@@ -135,14 +160,17 @@ class Merger {
   const TreeView& a_;
   const TreeView& b_;
   TreeSink* out_;
+  const std::atomic<bool>* cancel_;
+  std::uint32_t cancel_polls_ = 0;
   std::vector<OccurrenceRec> occ_buf_;
 };
 
 }  // namespace
 
-void MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out) {
+bool MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out,
+                const std::atomic<bool>* cancel) {
   TSW_CHECK(out != nullptr);
-  Merger(a, b, out).Run();
+  return Merger(a, b, out, cancel).Run();
 }
 
 void CopyTree(const TreeView& view, TreeSink* sink) {

@@ -1,6 +1,9 @@
 #ifndef TSWARP_SUFFIXTREE_MERGE_H_
 #define TSWARP_SUFFIXTREE_MERGE_H_
 
+#include <atomic>
+#include <vector>
+
 #include "suffixtree/tree_view.h"
 
 namespace tswarp::suffixtree {
@@ -14,11 +17,59 @@ namespace tswarp::suffixtree {
 ///
 /// Complexity O(|A| + |B|) tree operations plus the symbol comparisons on
 /// shared label prefixes. Finalize() is called on `out`.
-void MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out);
+///
+/// `cancel` (optional) is polled periodically; when it becomes true the
+/// merge unwinds and returns false WITHOUT finalizing `out` — the caller
+/// must discard the partial sink (background tier compactions abort this
+/// way on shutdown). Returns true on a completed, finalized merge.
+bool MergeTrees(const TreeView& a, const TreeView& b, TreeSink* out,
+                const std::atomic<bool>* cancel = nullptr);
 
 /// Structural copy of `view` into `sink` (pre-order). Finalize() is called
 /// on `sink`. Used to serialize an in-memory tree to disk and vice versa.
 void CopyTree(const TreeView& view, TreeSink* sink);
+
+/// Read-only adaptor that rebases every occurrence's sequence id by a
+/// fixed offset, leaving the structure untouched. Tier compaction merges
+/// two tiers whose occurrences are tier-local (each tier's ids start at
+/// 0 over its own database fragment); wrapping the second tier in
+/// SeqOffsetTreeView(b, a.num_sequences) makes the merged tier's ids
+/// local to the concatenated fragment.
+class SeqOffsetTreeView : public TreeView {
+ public:
+  SeqOffsetTreeView(const TreeView& base, SeqId offset)
+      : base_(base), offset_(offset) {}
+
+  NodeId Root() const override { return base_.Root(); }
+  void GetChildren(NodeId node, Children* out) const override {
+    base_.GetChildren(node, out);
+  }
+  void GetOccurrences(NodeId node,
+                      std::vector<OccurrenceRec>* out) const override {
+    const std::size_t first = out->size();
+    base_.GetOccurrences(node, out);
+    for (std::size_t i = first; i < out->size(); ++i) {
+      (*out)[i].seq += offset_;
+    }
+  }
+  std::uint32_t SubtreeOccCount(NodeId node) const override {
+    return base_.SubtreeOccCount(node);
+  }
+  Pos MaxRun(NodeId node) const override { return base_.MaxRun(node); }
+  std::uint64_t NumNodes() const override { return base_.NumNodes(); }
+  std::uint64_t NumOccurrences() const override {
+    return base_.NumOccurrences();
+  }
+  std::uint64_t NumLabelSymbols() const override {
+    return base_.NumLabelSymbols();
+  }
+  std::uint64_t SizeBytes() const override { return base_.SizeBytes(); }
+  void HintSequentialScan() const override { base_.HintSequentialScan(); }
+
+ private:
+  const TreeView& base_;
+  SeqId offset_;
+};
 
 }  // namespace tswarp::suffixtree
 

@@ -183,10 +183,25 @@ void PrintStatsCounters(const core::SearchStats& stats) {
   }
 }
 
-/// Counters plus, for disk-backed indexes, the per-region buffer-manager
-/// cache behavior of this query.
+/// Counters plus the per-tier shape of the snapshot searched (one line for
+/// a monolithic index; base + sealed + memtable when tiered) and, for
+/// disk-backed indexes, the per-region buffer-manager cache behavior.
 void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
   PrintStatsCounters(stats);
+  const auto& tiers = index.snapshot()->tiers();
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const core::TierInfo& t = tiers[i]->info;
+    std::printf("tier %zu: seqs %llu..%llu, elements %llu, nodes %llu, "
+                "occurrences %llu, %llu bytes, %s%s\n",
+                i, static_cast<unsigned long long>(t.first_seq),
+                static_cast<unsigned long long>(t.first_seq + t.sequences),
+                static_cast<unsigned long long>(t.elements),
+                static_cast<unsigned long long>(t.nodes),
+                static_cast<unsigned long long>(t.occurrences),
+                static_cast<unsigned long long>(t.index_bytes),
+                t.on_disk ? "disk" : "memory",
+                t.memtable ? ", memtable" : "");
+  }
   if (index.disk_tree() != nullptr) {
     const suffixtree::DiskSuffixTree& tree = *index.disk_tree();
     std::printf("pool config: %zu pages x 3 regions, %zu shards, %s "
@@ -518,13 +533,16 @@ int CmdSearch(int argc, char** argv) {
   } else {
     IndexOptions options = OptionsFromFlags(argc, argv);
     if (!ApplyPoolFlags(argc, argv, &options)) return 1;
-    StatusOr<Index> index = Status::NotFound("");
-    if (!options.disk_path.empty()) {
-      index = Index::Open(&*db, options);
-      if (!index.ok()) index = Index::Build(&*db, options);
-    } else {
-      index = Index::Build(&*db, options);
-    }
+    // Open-or-build in one expression: Index is not move-assignable (the
+    // snapshot handle has exactly one sanctioned swap path), so build the
+    // StatusOr once instead of reassigning it.
+    StatusOr<Index> index = [&]() -> StatusOr<Index> {
+      if (!options.disk_path.empty()) {
+        StatusOr<Index> opened = Index::Open(&*db, options);
+        if (opened.ok()) return opened;
+      }
+      return Index::Build(&*db, options);
+    }();
     if (!index.ok()) {
       std::fprintf(stderr, "index failed: %s\n",
                    index.status().ToString().c_str());

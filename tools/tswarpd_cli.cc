@@ -2,25 +2,37 @@
 //
 //   tswarpd_cli serve DB [--port P] [--address A] [--kind st|stc|sstc]
 //       [--categories C] [--index PATH] [--queue N] [--batch N]
-//       [--search-threads T] [--conn-threads T] [--smoke]
+//       [--search-threads T] [--conn-threads T] [--streaming]
+//       [--memtable N] [--sealed N] [--smoke]
+//   tswarpd_cli append VALUES [--port P] [--address A]
 //
 // The index is built (or, with --index, reopened from a persisted bundle)
 // at startup; queries then run concurrently through the admission queue
-// and coalescing dispatcher (see docs/server.md). SIGTERM/SIGINT trigger
+// and coalescing dispatcher (see docs/server.md). With --streaming the
+// index is wrapped in a core::TieredIndex, enabling POST /append and the
+// /continuous/* endpoints (see docs/streaming.md). SIGTERM/SIGINT trigger
 // a graceful drain: in-flight and already-admitted searches are answered,
 // then the process exits 0.
 //
+// `append` is the matching client: it POSTs one comma-separated sequence
+// to a running --streaming server and prints the assigned global seq id.
+//
 // --smoke starts on an ephemeral port, runs a self-test over a real
-// socket (healthz, one search, stats), drains, and exits — the CI hook.
+// socket (healthz, one search, stats, and with --streaming one append),
+// drains, and exits — the CI hook.
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/types.h"
 #include "core/index.h"
+#include "core/tiered_index.h"
 #include "seqdb/sequence_database.h"
 #include "server/client.h"
 #include "server/index_handle.h"
@@ -62,12 +74,15 @@ int Usage() {
                "usage: tswarpd_cli serve DB [--port P] [--address A] "
                "[--kind st|stc|sstc] [--categories C] [--index PATH] "
                "[--queue N] [--batch N] [--search-threads T] "
-               "[--conn-threads T] [--smoke]\n");
+               "[--conn-threads T] [--streaming] [--memtable N] "
+               "[--sealed N] [--smoke]\n"
+               "       tswarpd_cli append VALUES [--port P] [--address A]\n"
+               "  VALUES is one comma-separated sequence, e.g. 12,14,13,15\n");
   return 2;
 }
 
 /// The smoke self-test: a full client round trip over the real socket.
-int RunSmoke(server::Server& srv) {
+int RunSmoke(server::Server& srv, bool streaming) {
   StatusOr<server::HttpClient> client =
       server::HttpClient::Connect("127.0.0.1", srv.port());
   if (!client.ok()) {
@@ -87,6 +102,15 @@ int RunSmoke(server::Server& srv) {
                  search.ok() ? search->status : -1);
     return 1;
   }
+  if (streaming) {
+    StatusOr<server::ClientResponse> appended = client->Post(
+        "/append", "{\"values\":[50,51,52,53,54,55,56,57]}");
+    if (!appended.ok() || appended->status != 200) {
+      std::fprintf(stderr, "smoke: /append failed (status %d)\n",
+                   appended.ok() ? appended->status : -1);
+      return 1;
+    }
+  }
   StatusOr<server::ClientResponse> stats = client->Get("/stats");
   if (!stats.ok() || stats->status != 200) {
     std::fprintf(stderr, "smoke: /stats failed\n");
@@ -94,6 +118,55 @@ int RunSmoke(server::Server& srv) {
   }
   std::printf("smoke ok: port %d, search body %zu bytes\n", srv.port(),
               search->body.size());
+  return 0;
+}
+
+/// `append`: POSTs one sequence to a running --streaming server.
+int Append(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<Value> values;
+  const char* p = argv[2];
+  char* end = nullptr;
+  while (*p != '\0') {
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    values.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "append: could not parse any values from '%s'\n",
+                 argv[2]);
+    return 2;
+  }
+  const char* address = FlagValue(argc, argv, "--address", "127.0.0.1");
+  const int port = static_cast<int>(FlagLong(argc, argv, "--port", 8787));
+  StatusOr<server::HttpClient> client =
+      server::HttpClient::Connect(address, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "append: connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::string body = "{\"values\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) body += ',';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", values[i]);
+    body += buf;
+  }
+  body += "]}";
+  StatusOr<server::ClientResponse> response = client->Post("/append", body);
+  if (!response.ok()) {
+    std::fprintf(stderr, "append: request failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (response->status != 200) {
+    std::fprintf(stderr, "append: server returned %d: %s\n", response->status,
+                 response->body.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->body.c_str());
   return 0;
 }
 
@@ -121,16 +194,38 @@ int Serve(int argc, char** argv) {
   if (index_path != nullptr) options.disk_path = index_path;
 
   // With a persisted bundle, prefer reopening it; fall back to building
-  // (which persists for the next start).
-  StatusOr<Index> index = Status::NotFound("no index yet");
-  if (index_path != nullptr) index = Index::Open(&*db, options);
-  if (!index.ok()) index = Index::Build(&*db, options);
+  // (which persists for the next start). One expression because Index is
+  // not move-assignable.
+  StatusOr<Index> index = [&]() -> StatusOr<Index> {
+    if (index_path != nullptr) {
+      StatusOr<Index> opened = Index::Open(&*db, options);
+      if (opened.ok()) return opened;
+    }
+    return Index::Build(&*db, options);
+  }();
   if (!index.ok()) {
     std::fprintf(stderr, "index failed: %s\n",
                  index.status().ToString().c_str());
     return 1;
   }
-  server::IndexHandle handle(std::move(*index));
+
+  // --streaming wraps the base index in a TieredIndex so /append and the
+  // continuous-query endpoints are live; otherwise the handle serves the
+  // static snapshot.
+  const bool streaming = HasFlag(argc, argv, "--streaming");
+  std::shared_ptr<core::TieredIndex> tiered;
+  if (streaming) {
+    core::TieredOptions tiered_options;
+    tiered_options.index = options;
+    tiered_options.memtable_max_sequences = static_cast<std::size_t>(
+        FlagLong(argc, argv, "--memtable", 8));
+    tiered_options.max_sealed_tiers = static_cast<std::size_t>(
+        FlagLong(argc, argv, "--sealed", 2));
+    tiered = core::TieredIndex::FromIndex(std::move(*index), tiered_options);
+  }
+  server::IndexHandle handle =
+      streaming ? server::IndexHandle(tiered)
+                : server::IndexHandle(std::move(*index));
 
   server::ServerOptions server_options;
   server_options.address = FlagValue(argc, argv, "--address", "127.0.0.1");
@@ -155,14 +250,15 @@ int Serve(int argc, char** argv) {
   }
 
   if (smoke) {
-    const int rc = RunSmoke(**srv);
+    const int rc = RunSmoke(**srv, streaming);
     (*srv)->Shutdown();
     return rc;
   }
 
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
-  std::printf("tswarpd serving %s (%s) on %s:%d\n", argv[2], kind.c_str(),
+  std::printf("tswarpd serving %s (%s%s) on %s:%d\n", argv[2], kind.c_str(),
+              streaming ? ", streaming" : "",
               server_options.address.c_str(), (*srv)->port());
   std::fflush(stdout);
   while (g_stop == 0) {
@@ -182,8 +278,8 @@ int Serve(int argc, char** argv) {
 }  // namespace tswarp
 
 int main(int argc, char** argv) {
-  if (argc < 2 || std::strcmp(argv[1], "serve") != 0) {
-    return tswarp::Usage();
-  }
-  return tswarp::Serve(argc, argv);
+  if (argc < 2) return tswarp::Usage();
+  if (std::strcmp(argv[1], "serve") == 0) return tswarp::Serve(argc, argv);
+  if (std::strcmp(argv[1], "append") == 0) return tswarp::Append(argc, argv);
+  return tswarp::Usage();
 }
