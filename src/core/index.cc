@@ -92,6 +92,7 @@ suffixtree::DiskTreeOptions TreeOptionsFromIndexOptions(
   tree.pool_shards = options.disk_pool_shards;
   tree.eviction = options.disk_eviction;
   tree.readahead_pages = options.disk_readahead_pages;
+  tree.io_mode = options.disk_io_mode;
   return tree;
 }
 
@@ -281,6 +282,16 @@ std::optional<suffixtree::RegionStats> IndexSnapshot::PoolStats() const {
   }
   if (!any) return std::nullopt;
   return total;
+}
+
+MappedIoStats IndexSnapshot::MappedStats() const {
+  MappedIoStats stats;
+  for (const auto& tier : tiers_) {
+    if (tier->disk_tree == nullptr) continue;
+    stats.mapped_bytes += tier->disk_tree->MappedBytes();
+    stats.resident_bytes += tier->disk_tree->ResidentBytes();
+  }
+  return stats;
 }
 
 namespace {

@@ -68,6 +68,14 @@ struct IndexOptions {
   /// Sequential read-ahead window in pages; 0 disables.
   std::size_t disk_readahead_pages = 8;
 
+  /// Read path for the finalized disk bundle (runtime-only, like the pool
+  /// knobs above — not fingerprinted, so one bundle can be reopened under
+  /// either mode). mmap serves queries zero-copy off the shared kernel
+  /// page cache; buffered routes reads through the private BufferManager
+  /// and is required for v1 bundles. Construction and merges always write
+  /// (and scan intermediates) buffered regardless of this setting.
+  storage::IoMode disk_io_mode = storage::IoMode::kMmap;
+
   /// Seed for categorizers that need one (k-means).
   std::uint64_t seed = 1;
 };
@@ -81,6 +89,12 @@ struct IndexBuildInfo {
   std::uint64_t skipped_suffixes = 0;  // Non-stored (sparse / length bound).
   double compaction_ratio = 0.0;       // r = non-stored / total (Section 6).
   std::size_t num_categories = 0;      // Actual categories after dedup.
+};
+
+/// mmap read-path statistics, summed over every mapped disk tier.
+struct MappedIoStats {
+  std::uint64_t mapped_bytes = 0;    // Bytes mapped into the address space.
+  std::uint64_t resident_bytes = 0;  // Thereof resident in the page cache.
 };
 
 /// Per-search options.
@@ -181,8 +195,14 @@ class IndexSnapshot {
   const suffixtree::DiskSuffixTree* disk_tree() const;
 
   /// Per-region buffer-manager statistics summed over every disk-backed
-  /// tier, or nullopt when none is.
+  /// tier, or nullopt when none is. All-zero counters under mmap: the
+  /// zero-copy path never pins a page.
   std::optional<suffixtree::RegionStats> PoolStats() const;
+
+  /// Mapped/resident byte totals over the mmap-backed disk tiers (zero
+  /// when every tier is buffered or in memory). Residency probes mincore;
+  /// keep it to stats endpoints.
+  MappedIoStats MappedStats() const;
 
  private:
   IndexOptions options_;
@@ -261,6 +281,10 @@ class Index {
   std::optional<suffixtree::RegionStats> PoolStats() const {
     return snapshot_->PoolStats();
   }
+
+  /// Mapped/resident byte totals of the mmap read path (see
+  /// IndexSnapshot::MappedStats).
+  MappedIoStats MappedStats() const { return snapshot_->MappedStats(); }
 
   /// The underlying immutable snapshot. Shared: the snapshot (and through
   /// it every tier) stays alive as long as any holder keeps the pointer,

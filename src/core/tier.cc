@@ -23,6 +23,10 @@ TierInfo ComputeTierInfo(const Tier& tier) {
   info.index_bytes = view->SizeBytes();
   info.on_disk = tier.disk_tree != nullptr;
   info.memtable = tier.is_memtable;
+  if (tier.disk_tree != nullptr) {
+    info.io_mode = tier.disk_tree->io_mode();
+    info.mapped_bytes = tier.disk_tree->MappedBytes();
+  }
   return info;
 }
 

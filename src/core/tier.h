@@ -26,6 +26,10 @@ struct TierInfo {
   std::uint64_t index_bytes = 0;
   bool on_disk = false;
   bool memtable = false;  // The mutable-logically, immutable-physically top.
+  /// Read path of a disk tier (meaningless for in-memory tiers).
+  storage::IoMode io_mode = storage::IoMode::kBuffered;
+  /// Bytes mmap'd for this tier; 0 on the buffered path.
+  std::uint64_t mapped_bytes = 0;
 };
 
 /// One immutable tier of an index: a suffix tree over a contiguous range

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/task_scheduler.h"
+#include "storage/mmap_file.h"
 #include "suffixtree/merge.h"
 
 namespace tswarp::core {
@@ -336,6 +337,15 @@ std::shared_ptr<const Tier> TieredIndex::BuildMergedTier(
     }
     if (!renamed) {
       suffixtree::RemoveDiskTree(tmp);
+      suffixtree::RemoveDiskTree(final_base);
+      return nullptr;
+    }
+    // Persist the renames: without the directory fsync a power loss here
+    // could roll the directory back to a state where the published tier's
+    // files never existed, even though every byte inside them is durable.
+    if (!storage::SyncDir(
+             fs::path(options_.index.disk_path).parent_path().string())
+             .ok()) {
       suffixtree::RemoveDiskTree(final_base);
       return nullptr;
     }

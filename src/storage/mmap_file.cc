@@ -1,0 +1,178 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tswarp::storage {
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* IoModeToString(IoMode mode) {
+  switch (mode) {
+    case IoMode::kBuffered:
+      return "buffered";
+    case IoMode::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+StatusOr<IoMode> ParseIoMode(std::string_view text) {
+  if (text == "buffered") return IoMode::kBuffered;
+  if (text == "mmap") return IoMode::kMmap;
+  return Status::InvalidArgument("unknown io mode '" + std::string(text) +
+                                 "' (expected mmap or buffered)");
+}
+
+// ---------------------------------------------------------------------------
+// MappedFile
+// ---------------------------------------------------------------------------
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = ErrnoStatus("fstat", path);
+    ::close(fd);
+    return s;
+  }
+
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* data =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (data == MAP_FAILED) {
+      const Status s = ErrnoStatus("mmap", path);
+      ::close(fd);
+      return s;
+    }
+    file.data_ = data;
+  }
+  // The mapping keeps the file alive; the descriptor is no longer needed.
+  ::close(fd);
+  return file;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)), data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+void MappedFile::Advise(AccessHint hint) const {
+  if (data_ == nullptr) return;
+  int advice = MADV_NORMAL;
+  switch (hint) {
+    case AccessHint::kNormal:
+      advice = MADV_NORMAL;
+      break;
+    case AccessHint::kSequential:
+      advice = MADV_SEQUENTIAL;
+      break;
+    case AccessHint::kRandom:
+      advice = MADV_RANDOM;
+      break;
+    case AccessHint::kWillNeed:
+      advice = MADV_WILLNEED;
+      break;
+  }
+  // Best-effort: a kernel that rejects the advice still serves the pages.
+  (void)::madvise(data_, size_, advice);
+}
+
+std::uint64_t MappedFile::ResidentBytes() const {
+  if (data_ == nullptr) return 0;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t num_pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> residency(num_pages);
+  if (::mincore(data_, size_, residency.data()) != 0) return 0;
+  std::uint64_t resident = 0;
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    if (residency[i] & 1u) {
+      const std::size_t extent =
+          (i + 1 == num_pages) ? size_ - i * page : page;
+      resident += extent;
+    }
+  }
+  return resident;
+}
+
+// ---------------------------------------------------------------------------
+// MappedRegion
+// ---------------------------------------------------------------------------
+
+StatusOr<MappedRegion> MappedRegion::Create(const MappedFile& file,
+                                            std::size_t record_size,
+                                            std::uint64_t record_count,
+                                            const std::string& what) {
+  TSW_CHECK(record_size > 0);
+  const std::uint64_t need = record_count * record_size;
+  if (file.size_bytes() < need) {
+    return Status::Corruption(
+        "truncated " + what + " region in " + file.path() + ": need " +
+        std::to_string(need) + " bytes, file has " +
+        std::to_string(file.size_bytes()));
+  }
+  return MappedRegion(file.bytes().data(), record_size, record_count);
+}
+
+const std::byte* MappedRegion::RecordAt(std::uint64_t index) const {
+  TSW_DCHECK(index < record_count_);
+  return data_ + index * record_size_;
+}
+
+// ---------------------------------------------------------------------------
+// SyncDir
+// ---------------------------------------------------------------------------
+
+Status SyncDir(const std::string& dir) {
+  const std::string path = dir.empty() ? "." : dir;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir", path);
+  Status result = Status::OK();
+  if (::fsync(fd) != 0) result = ErrnoStatus("fsync dir", path);
+  ::close(fd);
+  return result;
+}
+
+}  // namespace tswarp::storage

@@ -1,0 +1,125 @@
+#ifndef TSWARP_STORAGE_MMAP_FILE_H_
+#define TSWARP_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tswarp::storage {
+
+/// How a disk tree bundle is read at query time.
+///   kBuffered — every read pins pages through the sharded BufferManager
+///               (private page cache, pin/unpin per touch). Required for
+///               construction, merges, and v1 bundles.
+///   kMmap     — the region files are mapped read-only and cursors read
+///               straight out of the mapping: no pins, no private cache,
+///               and the kernel page cache is shared across processes.
+///               Requires a finalized v2 bundle.
+enum class IoMode {
+  kBuffered,
+  kMmap,
+};
+
+const char* IoModeToString(IoMode mode);
+
+/// Parses "buffered" / "mmap" (case-sensitive, the CLI spelling).
+StatusOr<IoMode> ParseIoMode(std::string_view text);
+
+/// Access-pattern hints forwarded to madvise(). Best-effort: advice
+/// failures are ignored (the mapping stays correct either way).
+enum class AccessHint {
+  kNormal,
+  kSequential,
+  kRandom,
+  kWillNeed,
+};
+
+/// A whole file mapped read-only into the address space. Move-only; the
+/// mapping lives until destruction, so any pointer into bytes() is valid
+/// for the lifetime of the MappedFile. Empty files map to an empty span
+/// (no mmap call — mapping zero bytes is undefined).
+///
+/// This is the only place in the codebase that calls mmap / munmap /
+/// madvise / mincore; everything above works with spans.
+class MappedFile {
+ public:
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  std::size_t size_bytes() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Forwards `hint` to madvise over the whole mapping. Best-effort.
+  void Advise(AccessHint hint) const;
+
+  /// Bytes of the mapping currently resident in the page cache (via
+  /// mincore). Best-effort: returns 0 if the probe fails or the file is
+  /// empty. Cost is one syscall plus one byte per mapped page, so keep it
+  /// off hot paths (stats endpoints only).
+  std::uint64_t ResidentBytes() const;
+
+ private:
+  void Reset();
+
+  std::string path_;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A validated view of fixed-size records inside a MappedFile. Creation
+/// checks up front that `record_count * record_size` bytes actually exist
+/// in the mapping, so a truncated file fails with Status::Corruption at
+/// open time instead of SIGBUS-ing mid-query.
+///
+/// MappedRegion does not own the mapping; the MappedFile it was created
+/// from must outlive it.
+class MappedRegion {
+ public:
+  static StatusOr<MappedRegion> Create(const MappedFile& file,
+                                       std::size_t record_size,
+                                       std::uint64_t record_count,
+                                       const std::string& what);
+
+  MappedRegion() = default;
+
+  /// Pointer to record `index`; valid for the mapping's lifetime.
+  const std::byte* RecordAt(std::uint64_t index) const;
+
+  const std::byte* data() const { return data_; }
+  std::uint64_t record_count() const { return record_count_; }
+  std::size_t record_size() const { return record_size_; }
+
+ private:
+  MappedRegion(const std::byte* data, std::size_t record_size,
+               std::uint64_t record_count)
+      : data_(data), record_size_(record_size), record_count_(record_count) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t record_size_ = 0;
+  std::uint64_t record_count_ = 0;
+};
+
+/// fsyncs a directory so a just-renamed file inside it survives power
+/// loss. Linux requires this for durable renames; the rename itself only
+/// orders the metadata, it does not persist it.
+Status SyncDir(const std::string& dir);
+
+}  // namespace tswarp::storage
+
+#endif  // TSWARP_STORAGE_MMAP_FILE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "common/logging.h"
@@ -12,7 +13,12 @@ namespace tswarp::suffixtree {
 namespace {
 
 constexpr std::uint64_t kMetaMagic = 0x545357545245451ull;  // "TSWTREE"+1
-constexpr std::uint32_t kMetaVersion = 1;
+
+// Format versions. v1 (PR 3) is the bare MetaRecord; v2 adds the section
+// table below and is required by the mmap read path. The buffered path
+// reads both.
+constexpr std::uint32_t kMetaVersionV1 = 1;
+constexpr std::uint32_t kMetaVersionV2 = 2;
 
 // On-disk node record: 32 bytes, no padding.
 struct NodeRecord {
@@ -43,6 +49,15 @@ static_assert(storage::PagedFile::kPageSize % sizeof(NodeRecord) == 0);
 static_assert(storage::PagedFile::kPageSize % sizeof(OccRecord) == 0);
 static_assert(storage::PagedFile::kPageSize % sizeof(Symbol) == 0);
 
+// v2 alignment contract: record sizes divide the cache line, so no record
+// straddles a cache-line (or page) boundary and mapped cursors never split
+// a read across lines.
+constexpr std::uint32_t kRecordAlignment = 64;
+static_assert(kRecordAlignment % sizeof(NodeRecord) == 0);
+static_assert(kRecordAlignment % sizeof(OccRecord) == 0);
+static_assert(kRecordAlignment % sizeof(Symbol) == 0);
+
+// v1 meta page: just this record. The v2 page appends the section table.
 struct MetaRecord {
   std::uint64_t magic;
   std::uint32_t version;
@@ -51,11 +66,99 @@ struct MetaRecord {
   std::uint64_t num_occs;
   std::uint64_t num_label_symbols;
 };
+static_assert(sizeof(MetaRecord) == 40);
+
+// One v2 section-table entry per region file, in region-id order. The
+// table is what makes the bundle self-describing for the mmap path: the
+// opener validates record sizes and byte lengths against the actual files
+// before handing out any pointer, so truncation fails cleanly at Open.
+enum RegionId : std::uint32_t {
+  kRegionNodes = 0,
+  kRegionOccs = 1,
+  kRegionLabels = 2,
+};
+constexpr std::uint32_t kNumSections = 3;
+
+struct SectionEntry {
+  std::uint32_t region;       // RegionId
+  std::uint32_t record_size;  // bytes per fixed record
+  std::uint64_t record_count;
+  std::uint64_t byte_length;  // record_count * record_size
+};
+static_assert(sizeof(SectionEntry) == 24);
+
+constexpr std::size_t kSectionTableOffset = sizeof(MetaRecord);
+static_assert(kSectionTableOffset + 2 * sizeof(std::uint32_t) +
+                  kNumSections * sizeof(SectionEntry) <=
+              storage::PagedFile::kPageSize);
 
 std::string NodesPath(const std::string& base) { return base + ".nodes"; }
 std::string OccsPath(const std::string& base) { return base + ".occs"; }
 std::string LabelsPath(const std::string& base) { return base + ".labels"; }
 std::string MetaPath(const std::string& base) { return base + ".meta"; }
+
+std::string ParentDir(const std::string& base_path) {
+  return std::filesystem::path(base_path).parent_path().string();
+}
+
+/// Counts + format version recovered from a validated meta page.
+struct ParsedMeta {
+  std::uint32_t version;
+  std::uint64_t num_nodes;
+  std::uint64_t num_occs;
+  std::uint64_t num_label_symbols;
+};
+
+StatusOr<ParsedMeta> ReadMeta(const std::string& base_path) {
+  TSW_ASSIGN_OR_RETURN(auto meta_file,
+                       storage::PagedFile::Open(MetaPath(base_path), false));
+  std::vector<std::byte> page(storage::PagedFile::kPageSize);
+  TSW_RETURN_IF_ERROR(meta_file.ReadPage(0, page));
+  MetaRecord meta;
+  std::memcpy(&meta, page.data(), sizeof(meta));
+  if (meta.magic != kMetaMagic) {
+    return Status::Corruption("bad magic in " + MetaPath(base_path));
+  }
+  if (meta.version != kMetaVersionV1 && meta.version != kMetaVersionV2) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(meta.version) + " in " +
+                              MetaPath(base_path));
+  }
+  if (meta.finalized != 1) {
+    return Status::Corruption("unreadable tree bundle " + base_path);
+  }
+  if (meta.version == kMetaVersionV2) {
+    std::size_t off = kSectionTableOffset;
+    std::uint32_t section_count = 0;
+    std::uint32_t alignment = 0;
+    std::memcpy(&section_count, page.data() + off, sizeof(section_count));
+    off += sizeof(section_count);
+    std::memcpy(&alignment, page.data() + off, sizeof(alignment));
+    off += sizeof(alignment);
+    if (section_count != kNumSections || alignment != kRecordAlignment) {
+      return Status::Corruption("bad section table header in " +
+                                MetaPath(base_path));
+    }
+    const std::uint64_t expect_count[kNumSections] = {
+        meta.num_nodes, meta.num_occs, meta.num_label_symbols};
+    const std::uint32_t expect_size[kNumSections] = {
+        sizeof(NodeRecord), sizeof(OccRecord), sizeof(Symbol)};
+    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+      SectionEntry entry;
+      std::memcpy(&entry, page.data() + off, sizeof(entry));
+      off += sizeof(entry);
+      if (entry.region != i || entry.record_size != expect_size[i] ||
+          entry.record_count != expect_count[i] ||
+          entry.byte_length != entry.record_count * entry.record_size) {
+        return Status::Corruption("bad section table entry " +
+                                  std::to_string(i) + " in " +
+                                  MetaPath(base_path));
+      }
+    }
+  }
+  return ParsedMeta{meta.version, meta.num_nodes, meta.num_occs,
+                    meta.num_label_symbols};
+}
 
 /// Zero-copy access to fixed-size records of one region. Get() pins the
 /// record's page and returns a pointer straight into the frame; the pin
@@ -146,6 +249,260 @@ Status ReadOcc(storage::BufferManager& mgr, std::uint32_t id,
   return mgr.Read(static_cast<std::uint64_t>(id) * sizeof(OccRecord), out,
                   sizeof(OccRecord));
 }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node-access layer
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+/// Backend behind DiskSuffixTree's read accessors. Implementations must
+/// be safe for concurrent reads from many threads.
+class TreeAccess {
+ public:
+  virtual ~TreeAccess() = default;
+
+  virtual void GetChildren(NodeId node, Children* out) const = 0;
+  virtual void GetOccurrences(NodeId node,
+                              std::vector<OccurrenceRec>* out) const = 0;
+  virtual std::uint32_t SubtreeOccCount(NodeId node) const = 0;
+  virtual Pos MaxRun(NodeId node) const = 0;
+  virtual void HintSequentialScan() const = 0;
+  virtual RegionStats PoolStats() const = 0;
+  virtual storage::IoMode io_mode() const = 0;
+  virtual std::size_t pool_shards() const = 0;
+  virtual storage::EvictionPolicyKind pool_eviction() const = 0;
+  virtual std::uint64_t MappedBytes() const = 0;
+  virtual std::uint64_t ResidentBytes() const = 0;
+};
+
+}  // namespace internal
+
+namespace {
+
+/// The PR 3 read path: three sharded BufferManagers with a bounded frame
+/// budget. Handles bundles larger than RAM and v1 bundles; also the only
+/// backend usable while a writer still exists (construction, merges).
+class BufferedTreeAccess : public internal::TreeAccess {
+ public:
+  static StatusOr<std::unique_ptr<internal::TreeAccess>> Open(
+      const std::string& base_path, const DiskTreeOptions& options) {
+    auto access = std::unique_ptr<BufferedTreeAccess>(new BufferedTreeAccess);
+    access->readahead_pages_ = options.readahead_pages;
+    TSW_ASSIGN_OR_RETURN(
+        auto nodes_file, storage::PagedFile::Open(NodesPath(base_path), false));
+    TSW_ASSIGN_OR_RETURN(
+        auto occs_file, storage::PagedFile::Open(OccsPath(base_path), false));
+    TSW_ASSIGN_OR_RETURN(
+        auto labels_file,
+        storage::PagedFile::Open(LabelsPath(base_path), false));
+    access->node_file_ =
+        std::make_unique<storage::PagedFile>(std::move(nodes_file));
+    access->occ_file_ =
+        std::make_unique<storage::PagedFile>(std::move(occs_file));
+    access->label_file_ =
+        std::make_unique<storage::PagedFile>(std::move(labels_file));
+    const storage::BufferManagerOptions mgr_options =
+        options.ToManagerOptions();
+    access->nodes_ = std::make_unique<storage::BufferManager>(
+        access->node_file_.get(), mgr_options);
+    access->occs_ = std::make_unique<storage::BufferManager>(
+        access->occ_file_.get(), mgr_options);
+    access->labels_ = std::make_unique<storage::BufferManager>(
+        access->label_file_.get(), mgr_options);
+    return std::unique_ptr<internal::TreeAccess>(std::move(access));
+  }
+
+  void GetChildren(NodeId node, Children* out) const override {
+    out->Clear();
+    RecordCursor<NodeRecord> nodes(nodes_.get());
+    LabelReader labels(labels_.get());
+    // Copy out scalars before the next cursor call invalidates the pointer.
+    const NodeId first_child = nodes.Get(node)->first_child;
+    for (NodeId c = first_child; c != kNilNode;) {
+      const NodeRecord* crec = nodes.Get(c);
+      const std::uint64_t label_offset = crec->label_offset;
+      const std::uint32_t label_len = crec->label_len;
+      const NodeId next = crec->next_sibling;
+      const auto begin = static_cast<std::uint32_t>(out->label_pool.size());
+      out->label_pool.resize(begin + label_len);
+      labels.Copy(label_offset, label_len, out->label_pool.data() + begin);
+      out->edges.push_back({c, begin, label_len});
+      c = next;
+    }
+  }
+
+  void GetOccurrences(NodeId node,
+                      std::vector<OccurrenceRec>* out) const override {
+    RecordCursor<NodeRecord> nodes(nodes_.get());
+    RecordCursor<OccRecord> occs(occs_.get());
+    const std::uint32_t first_occ = nodes.Get(node)->first_occ;
+    for (std::uint32_t o = first_occ; o != kNilOcc;) {
+      const OccRecord* orec = occs.Get(o);
+      out->push_back({orec->seq, orec->pos, orec->run});
+      o = orec->next;
+    }
+  }
+
+  std::uint32_t SubtreeOccCount(NodeId node) const override {
+    RecordCursor<NodeRecord> nodes(nodes_.get());
+    return nodes.Get(node)->subtree_occ;
+  }
+
+  Pos MaxRun(NodeId node) const override {
+    RecordCursor<NodeRecord> nodes(nodes_.get());
+    return nodes.Get(node)->max_run;
+  }
+
+  void HintSequentialScan() const override {
+    const std::size_t window = readahead_pages_;
+    if (window == 0) return;
+    // Prime the first window of each region; once the scan reaches the end
+    // of a primed run, the managers' sequential fault detection takes over.
+    nodes_->ReadAhead(0, window);
+    occs_->ReadAhead(0, window);
+    labels_->ReadAhead(0, window);
+  }
+
+  RegionStats PoolStats() const override {
+    RegionStats stats;
+    stats.nodes = nodes_->stats();
+    stats.occs = occs_->stats();
+    stats.labels = labels_->stats();
+    return stats;
+  }
+
+  storage::IoMode io_mode() const override {
+    return storage::IoMode::kBuffered;
+  }
+  std::size_t pool_shards() const override { return nodes_->num_shards(); }
+  storage::EvictionPolicyKind pool_eviction() const override {
+    return nodes_->eviction_policy();
+  }
+  std::uint64_t MappedBytes() const override { return 0; }
+  std::uint64_t ResidentBytes() const override { return 0; }
+
+ private:
+  BufferedTreeAccess() = default;
+
+  std::size_t readahead_pages_ = 0;
+  std::unique_ptr<storage::PagedFile> node_file_;
+  std::unique_ptr<storage::PagedFile> occ_file_;
+  std::unique_ptr<storage::PagedFile> label_file_;
+  // Managers are mutable in effect: reads fault pages in and move policy
+  // state; BufferManager is internally synchronized.
+  mutable std::unique_ptr<storage::BufferManager> nodes_;
+  mutable std::unique_ptr<storage::BufferManager> occs_;
+  mutable std::unique_ptr<storage::BufferManager> labels_;
+};
+
+/// The zero-copy read path: every region file is mapped read-only at Open
+/// and accessors dereference records straight out of the mapping. No pins,
+/// no locks, no private cache — the kernel page cache is the only cache
+/// and is shared with every other process serving the same bundle.
+/// MappedRegion::Create validated the byte lengths up front, so every
+/// RecordAt below is in-bounds by construction.
+class MappedTreeAccess : public internal::TreeAccess {
+ public:
+  static StatusOr<std::unique_ptr<internal::TreeAccess>> Open(
+      const std::string& base_path, const ParsedMeta& meta) {
+    auto access = std::unique_ptr<MappedTreeAccess>(new MappedTreeAccess);
+    TSW_ASSIGN_OR_RETURN(access->nodes_file_,
+                         storage::MappedFile::Open(NodesPath(base_path)));
+    TSW_ASSIGN_OR_RETURN(access->occs_file_,
+                         storage::MappedFile::Open(OccsPath(base_path)));
+    TSW_ASSIGN_OR_RETURN(access->labels_file_,
+                         storage::MappedFile::Open(LabelsPath(base_path)));
+    TSW_ASSIGN_OR_RETURN(
+        access->nodes_,
+        storage::MappedRegion::Create(access->nodes_file_, sizeof(NodeRecord),
+                                      meta.num_nodes, "nodes"));
+    TSW_ASSIGN_OR_RETURN(
+        access->occs_,
+        storage::MappedRegion::Create(access->occs_file_, sizeof(OccRecord),
+                                      meta.num_occs, "occs"));
+    TSW_ASSIGN_OR_RETURN(
+        access->labels_,
+        storage::MappedRegion::Create(access->labels_file_, sizeof(Symbol),
+                                      meta.num_label_symbols, "labels"));
+    // Kick off asynchronous population of the whole bundle; queries that
+    // arrive before it completes just fault their pages on demand.
+    access->nodes_file_.Advise(storage::AccessHint::kWillNeed);
+    access->occs_file_.Advise(storage::AccessHint::kWillNeed);
+    access->labels_file_.Advise(storage::AccessHint::kWillNeed);
+    return std::unique_ptr<internal::TreeAccess>(std::move(access));
+  }
+
+  void GetChildren(NodeId node, Children* out) const override {
+    out->Clear();
+    const auto* labels = reinterpret_cast<const Symbol*>(labels_.data());
+    for (NodeId c = Node(node).first_child; c != kNilNode;) {
+      const NodeRecord& crec = Node(c);
+      const auto begin = static_cast<std::uint32_t>(out->label_pool.size());
+      out->label_pool.resize(begin + crec.label_len);
+      std::memcpy(out->label_pool.data() + begin, labels + crec.label_offset,
+                  static_cast<std::size_t>(crec.label_len) * sizeof(Symbol));
+      out->edges.push_back({c, begin, crec.label_len});
+      c = crec.next_sibling;
+    }
+  }
+
+  void GetOccurrences(NodeId node,
+                      std::vector<OccurrenceRec>* out) const override {
+    for (std::uint32_t o = Node(node).first_occ; o != kNilOcc;) {
+      const auto& orec =
+          *reinterpret_cast<const OccRecord*>(occs_.RecordAt(o));
+      out->push_back({orec.seq, orec.pos, orec.run});
+      o = orec.next;
+    }
+  }
+
+  std::uint32_t SubtreeOccCount(NodeId node) const override {
+    return Node(node).subtree_occ;
+  }
+
+  Pos MaxRun(NodeId node) const override { return Node(node).max_run; }
+
+  void HintSequentialScan() const override {
+    nodes_file_.Advise(storage::AccessHint::kSequential);
+    occs_file_.Advise(storage::AccessHint::kSequential);
+    labels_file_.Advise(storage::AccessHint::kSequential);
+  }
+
+  RegionStats PoolStats() const override { return RegionStats{}; }
+
+  storage::IoMode io_mode() const override { return storage::IoMode::kMmap; }
+  std::size_t pool_shards() const override { return 0; }
+  storage::EvictionPolicyKind pool_eviction() const override {
+    return storage::EvictionPolicyKind::kLru;
+  }
+
+  std::uint64_t MappedBytes() const override {
+    return nodes_file_.size_bytes() + occs_file_.size_bytes() +
+           labels_file_.size_bytes();
+  }
+
+  std::uint64_t ResidentBytes() const override {
+    return nodes_file_.ResidentBytes() + occs_file_.ResidentBytes() +
+           labels_file_.ResidentBytes();
+  }
+
+ private:
+  MappedTreeAccess() = default;
+
+  const NodeRecord& Node(NodeId id) const {
+    return *reinterpret_cast<const NodeRecord*>(nodes_.RecordAt(id));
+  }
+
+  storage::MappedFile nodes_file_;
+  storage::MappedFile occs_file_;
+  storage::MappedFile labels_file_;
+  storage::MappedRegion nodes_;
+  storage::MappedRegion occs_;
+  storage::MappedRegion labels_;
+};
 
 }  // namespace
 
@@ -311,101 +668,82 @@ Status DiskTreeWriter::CloseInternal() {
   TSW_RETURN_IF_ERROR(labels_->Flush());
   TSW_ASSIGN_OR_RETURN(auto meta_file,
                        storage::PagedFile::Create(MetaPath(base_path_)));
-  MetaRecord meta{kMetaMagic, kMetaVersion, 1u, num_nodes_, num_occs_,
+  MetaRecord meta{kMetaMagic, kMetaVersionV2, 1u, num_nodes_, num_occs_,
                   num_label_symbols_};
   std::vector<std::byte> page(storage::PagedFile::kPageSize);
   std::memcpy(page.data(), &meta, sizeof(meta));
+  std::size_t off = kSectionTableOffset;
+  const std::uint32_t section_count = kNumSections;
+  const std::uint32_t alignment = kRecordAlignment;
+  std::memcpy(page.data() + off, &section_count, sizeof(section_count));
+  off += sizeof(section_count);
+  std::memcpy(page.data() + off, &alignment, sizeof(alignment));
+  off += sizeof(alignment);
+  const SectionEntry sections[kNumSections] = {
+      {kRegionNodes, static_cast<std::uint32_t>(sizeof(NodeRecord)),
+       num_nodes_, num_nodes_ * sizeof(NodeRecord)},
+      {kRegionOccs, static_cast<std::uint32_t>(sizeof(OccRecord)), num_occs_,
+       num_occs_ * sizeof(OccRecord)},
+      {kRegionLabels, static_cast<std::uint32_t>(sizeof(Symbol)),
+       num_label_symbols_, num_label_symbols_ * sizeof(Symbol)},
+  };
+  std::memcpy(page.data() + off, sections, sizeof(sections));
   TSW_RETURN_IF_ERROR(meta_file.WritePage(0, page));
-  return meta_file.Sync();
+  TSW_RETURN_IF_ERROR(meta_file.Sync());
+  // The bundle's directory entries must survive power loss too: without
+  // this, a crash after Close() could leave a tier whose files simply
+  // never existed as far as the recovered filesystem is concerned.
+  return storage::SyncDir(ParentDir(base_path_));
 }
 
 // ---------------------------------------------------------------------------
 // DiskSuffixTree
 // ---------------------------------------------------------------------------
 
+DiskSuffixTree::~DiskSuffixTree() = default;
+
 StatusOr<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
     const std::string& base_path, DiskTreeOptions options) {
+  TSW_ASSIGN_OR_RETURN(const ParsedMeta meta, ReadMeta(base_path));
+  if (options.io_mode == storage::IoMode::kMmap &&
+      meta.version < kMetaVersionV2) {
+    return Status::Corruption(
+        "bundle " + base_path + " is format v" + std::to_string(meta.version) +
+        " (no section table): the mmap read path needs v2 — open with "
+        "io_mode=buffered or rebuild the index");
+  }
   std::unique_ptr<DiskSuffixTree> tree(new DiskSuffixTree());
   tree->base_path_ = base_path;
   tree->options_ = options;
-
-  TSW_ASSIGN_OR_RETURN(auto meta_file,
-                       storage::PagedFile::Open(MetaPath(base_path), false));
-  std::vector<std::byte> page(storage::PagedFile::kPageSize);
-  TSW_RETURN_IF_ERROR(meta_file.ReadPage(0, page));
-  MetaRecord meta;
-  std::memcpy(&meta, page.data(), sizeof(meta));
-  if (meta.magic != kMetaMagic) {
-    return Status::Corruption("bad magic in " + MetaPath(base_path));
-  }
-  if (meta.version != kMetaVersion || meta.finalized != 1) {
-    return Status::Corruption("unreadable tree bundle " + base_path);
-  }
   tree->num_nodes_ = meta.num_nodes;
   tree->num_occs_ = meta.num_occs;
   tree->num_label_symbols_ = meta.num_label_symbols;
-
-  TSW_ASSIGN_OR_RETURN(auto nodes_file,
-                       storage::PagedFile::Open(NodesPath(base_path), false));
-  TSW_ASSIGN_OR_RETURN(auto occs_file,
-                       storage::PagedFile::Open(OccsPath(base_path), false));
-  TSW_ASSIGN_OR_RETURN(
-      auto labels_file, storage::PagedFile::Open(LabelsPath(base_path),
-                                                 false));
-  tree->node_file_ =
-      std::make_unique<storage::PagedFile>(std::move(nodes_file));
-  tree->occ_file_ = std::make_unique<storage::PagedFile>(std::move(occs_file));
-  tree->label_file_ =
-      std::make_unique<storage::PagedFile>(std::move(labels_file));
-  const storage::BufferManagerOptions mgr_options = options.ToManagerOptions();
-  tree->nodes_ = std::make_unique<storage::BufferManager>(
-      tree->node_file_.get(), mgr_options);
-  tree->occs_ = std::make_unique<storage::BufferManager>(
-      tree->occ_file_.get(), mgr_options);
-  tree->labels_ = std::make_unique<storage::BufferManager>(
-      tree->label_file_.get(), mgr_options);
+  tree->format_version_ = meta.version;
+  if (options.io_mode == storage::IoMode::kMmap) {
+    TSW_ASSIGN_OR_RETURN(tree->access_,
+                         MappedTreeAccess::Open(base_path, meta));
+  } else {
+    TSW_ASSIGN_OR_RETURN(tree->access_,
+                         BufferedTreeAccess::Open(base_path, options));
+  }
   return tree;
 }
 
 void DiskSuffixTree::GetChildren(NodeId node, Children* out) const {
-  out->Clear();
-  RecordCursor<NodeRecord> nodes(nodes_.get());
-  LabelReader labels(labels_.get());
-  // Copy out scalars before the next cursor call invalidates the pointer.
-  const NodeId first_child = nodes.Get(node)->first_child;
-  for (NodeId c = first_child; c != kNilNode;) {
-    const NodeRecord* crec = nodes.Get(c);
-    const std::uint64_t label_offset = crec->label_offset;
-    const std::uint32_t label_len = crec->label_len;
-    const NodeId next = crec->next_sibling;
-    const auto begin = static_cast<std::uint32_t>(out->label_pool.size());
-    out->label_pool.resize(begin + label_len);
-    labels.Copy(label_offset, label_len, out->label_pool.data() + begin);
-    out->edges.push_back({c, begin, label_len});
-    c = next;
-  }
+  access_->GetChildren(node, out);
 }
 
 void DiskSuffixTree::GetOccurrences(NodeId node,
                                     std::vector<OccurrenceRec>* out) const {
-  RecordCursor<NodeRecord> nodes(nodes_.get());
-  RecordCursor<OccRecord> occs(occs_.get());
-  const std::uint32_t first_occ = nodes.Get(node)->first_occ;
-  for (std::uint32_t o = first_occ; o != kNilOcc;) {
-    const OccRecord* orec = occs.Get(o);
-    out->push_back({orec->seq, orec->pos, orec->run});
-    o = orec->next;
-  }
+  access_->GetOccurrences(node, out);
 }
 
 std::uint32_t DiskSuffixTree::SubtreeOccCount(NodeId node) const {
-  RecordCursor<NodeRecord> nodes(nodes_.get());
-  return nodes.Get(node)->subtree_occ;
+  return access_->SubtreeOccCount(node);
 }
 
 Pos DiskSuffixTree::MaxRun(NodeId node) const {
-  RecordCursor<NodeRecord> nodes(nodes_.get());
-  return nodes.Get(node)->max_run;
+  return access_->MaxRun(node);
 }
 
 std::uint64_t DiskSuffixTree::SizeBytes() const {
@@ -415,29 +753,27 @@ std::uint64_t DiskSuffixTree::SizeBytes() const {
 }
 
 void DiskSuffixTree::HintSequentialScan() const {
-  const std::size_t window = options_.readahead_pages;
-  if (window == 0) return;
-  // Prime the first window of each region; once the scan reaches the end
-  // of a primed run, the managers' sequential fault detection takes over.
-  nodes_->ReadAhead(0, window);
-  occs_->ReadAhead(0, window);
-  labels_->ReadAhead(0, window);
+  access_->HintSequentialScan();
 }
 
-RegionStats DiskSuffixTree::PoolStats() const {
-  RegionStats stats;
-  stats.nodes = nodes_->stats();
-  stats.occs = occs_->stats();
-  stats.labels = labels_->stats();
-  return stats;
-}
+RegionStats DiskSuffixTree::PoolStats() const { return access_->PoolStats(); }
 
 std::size_t DiskSuffixTree::pool_shards() const {
-  return nodes_->num_shards();
+  return access_->pool_shards();
 }
 
 storage::EvictionPolicyKind DiskSuffixTree::pool_eviction() const {
-  return nodes_->eviction_policy();
+  return access_->pool_eviction();
+}
+
+storage::IoMode DiskSuffixTree::io_mode() const { return access_->io_mode(); }
+
+std::uint64_t DiskSuffixTree::MappedBytes() const {
+  return access_->MappedBytes();
+}
+
+std::uint64_t DiskSuffixTree::ResidentBytes() const {
+  return access_->ResidentBytes();
 }
 
 // ---------------------------------------------------------------------------
@@ -463,6 +799,12 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
     const SymbolDatabase& db, const std::string& base_path,
     DiskBuildOptions options) {
   TSW_CHECK(options.batch_sequences >= 1);
+  // Intermediate trees are written, scanned once in a merge, and deleted;
+  // they are always accessed buffered (the mmap path would remap every
+  // short-lived tmp bundle for no reuse).
+  DiskTreeOptions scratch = options.tree;
+  scratch.io_mode = storage::IoMode::kBuffered;
+
   // Phase 1: spill batch trees.
   std::vector<std::string> pending;
   int next_tmp = 0;
@@ -474,7 +816,7 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
     for (SeqId id = begin; id < end; ++id) builder.InsertSequence(id);
     SuffixTree batch = builder.Build();
     const std::string tmp = base_path + ".tmp" + std::to_string(next_tmp++);
-    TSW_RETURN_IF_ERROR(WriteTreeToDisk(batch, tmp, options.tree));
+    TSW_RETURN_IF_ERROR(WriteTreeToDisk(batch, tmp, scratch));
     pending.push_back(tmp);
   }
   if (pending.empty()) {
@@ -486,11 +828,10 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
   while (pending.size() - head > 1) {
     const std::string a = pending[head++];
     const std::string b = pending[head++];
-    TSW_ASSIGN_OR_RETURN(auto view_a, DiskSuffixTree::Open(a, options.tree));
-    TSW_ASSIGN_OR_RETURN(auto view_b, DiskSuffixTree::Open(b, options.tree));
+    TSW_ASSIGN_OR_RETURN(auto view_a, DiskSuffixTree::Open(a, scratch));
+    TSW_ASSIGN_OR_RETURN(auto view_b, DiskSuffixTree::Open(b, scratch));
     const std::string out = base_path + ".tmp" + std::to_string(next_tmp++);
-    TSW_ASSIGN_OR_RETURN(auto writer,
-                         DiskTreeWriter::Create(out, options.tree));
+    TSW_ASSIGN_OR_RETURN(auto writer, DiskTreeWriter::Create(out, scratch));
     MergeTrees(*view_a, *view_b, writer.get());
     TSW_RETURN_IF_ERROR(writer->Close());
     RemoveDiskTree(a);
@@ -498,7 +839,7 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
     pending.push_back(out);
   }
 
-  // Rename the survivor into place.
+  // Rename the survivor into place, then persist the renames.
   const std::string last = pending[head];
   RemoveDiskTree(base_path);
   for (const char* suffix : {".meta", ".nodes", ".occs", ".labels"}) {
@@ -508,7 +849,26 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
       return Status::IOError("rename " + from + " -> " + to + " failed");
     }
   }
+  TSW_RETURN_IF_ERROR(storage::SyncDir(ParentDir(base_path)));
   return DiskSuffixTree::Open(base_path, options.tree);
+}
+
+Status DowngradeBundleToV1ForTest(const std::string& base_path) {
+  TSW_ASSIGN_OR_RETURN(auto meta_file,
+                       storage::PagedFile::Open(MetaPath(base_path), true));
+  std::vector<std::byte> page(storage::PagedFile::kPageSize);
+  TSW_RETURN_IF_ERROR(meta_file.ReadPage(0, page));
+  MetaRecord meta;
+  std::memcpy(&meta, page.data(), sizeof(meta));
+  if (meta.magic != kMetaMagic) {
+    return Status::Corruption("bad magic in " + MetaPath(base_path));
+  }
+  meta.version = kMetaVersionV1;
+  // A v1 writer never emitted anything past the MetaRecord.
+  std::fill(page.begin() + sizeof(meta), page.end(), std::byte{0});
+  std::memcpy(page.data(), &meta, sizeof(meta));
+  TSW_RETURN_IF_ERROR(meta_file.WritePage(0, page));
+  return meta_file.Sync();
 }
 
 }  // namespace tswarp::suffixtree

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "storage/buffer_manager.h"
+#include "storage/mmap_file.h"
 #include "storage/paged_file.h"
 #include "suffixtree/suffix_tree.h"
 #include "suffixtree/symbol_database.h"
@@ -15,34 +16,55 @@
 
 namespace tswarp::suffixtree {
 
+namespace internal {
+class TreeAccess;  // Pluggable node-access backend (buffered or mmap).
+}  // namespace internal
+
 /// A disk-resident suffix tree is a bundle of four files:
-///   <base>.meta    counts + magic
+///   <base>.meta    counts + magic + v2 section table
 ///   <base>.nodes   fixed 32-byte node records
 ///   <base>.occs    fixed 16-byte occurrence records
 ///   <base>.labels  materialized edge-label symbols (4 bytes each)
-/// All access goes through per-region sharded buffer managers, so trees
-/// larger than RAM can be built, merged, and searched with a bounded page
-/// budget — the paper's disk-based index.
+/// The bundle is relocatable: records reference each other by index only
+/// (no absolute offsets or embedded paths), so the four files can be
+/// moved or renamed together freely.
+///
+/// Two read paths exist, selected per open via `io_mode`:
+///   - buffered: per-region sharded buffer managers with a bounded page
+///     budget — trees larger than RAM can be built, merged, and searched.
+///     The only path that can read v1 bundles.
+///   - mmap: the region files are mapped read-only and cursors read
+///     records straight out of the mapping — zero pins, zero private
+///     cache, kernel page cache shared across processes. Requires a
+///     finalized v2 bundle.
 struct DiskTreeOptions {
-  /// Frame budget per region file.
+  /// Frame budget per region file (buffered path only).
   std::size_t pool_pages = 256;
 
   /// Lock shards per region manager; 0 = auto (hardware threads, capped),
-  /// 1 = classic single-mutex pool (the PR 1 baseline).
+  /// 1 = classic single-mutex pool (the PR 1 baseline). Buffered only.
   std::size_t pool_shards = 0;
 
-  /// Replacement policy of every region manager.
+  /// Replacement policy of every region manager. Buffered only.
   storage::EvictionPolicyKind eviction = storage::EvictionPolicyKind::kLru;
 
   /// Sequential read-ahead window (pages); 0 disables. Only helps
   /// scan-shaped access (merge, CopyTree), never hurts random traversal
   /// because the manager arms it on sequential fault patterns only.
+  /// On the mmap path the analogue is madvise MADV_SEQUENTIAL, armed by
+  /// HintSequentialScan() regardless of this knob.
   std::size_t readahead_pages = 8;
+
+  /// Read path for DiskSuffixTree::Open. The writer always runs buffered
+  /// (mmap is read-only). Library default is buffered for compatibility;
+  /// core::IndexOptions defaults to mmap for finalized bundles.
+  storage::IoMode io_mode = storage::IoMode::kBuffered;
 
   storage::BufferManagerOptions ToManagerOptions() const;
 };
 
-/// Buffer-manager statistics of one tree, broken down by region.
+/// Buffer-manager statistics of one tree, broken down by region. On the
+/// mmap path all counters are zero — there is no pool to hit or miss.
 struct RegionStats {
   storage::BufferManager::Stats nodes;
   storage::BufferManager::Stats occs;
@@ -51,10 +73,13 @@ struct RegionStats {
   storage::BufferManager::Stats Total() const;
 };
 
-/// TreeSink that writes a disk tree bundle. Nodes and occurrences are
-/// appended; parent/sibling links are patched in place through the
-/// managers' byte-granular Read/Write shim (patching a record rewrites a
-/// few dozen bytes mid-page, so pin-copy-unpin is the right shape here).
+/// TreeSink that writes a disk tree bundle (always buffered; mappings are
+/// read-only). Nodes and occurrences are appended; parent/sibling links
+/// are patched in place through the managers' byte-granular Read/Write
+/// shim (patching a record rewrites a few dozen bytes mid-page, so
+/// pin-copy-unpin is the right shape here). Close() syncs the meta file
+/// and then fsyncs the containing directory, so a bundle that Close()
+/// reported durable cannot vanish on power loss.
 class DiskTreeWriter : public TreeSink {
  public:
   static StatusOr<std::unique_ptr<DiskTreeWriter>> Create(
@@ -101,21 +126,28 @@ class DiskTreeWriter : public TreeSink {
   Status status_;
 };
 
-/// Read-only TreeView over a disk tree bundle.
+/// Read-only TreeView over a disk tree bundle, backed by one of two
+/// node-access layers chosen at Open time (DiskTreeOptions::io_mode):
+///
+///   - Buffered: every accessor pins the pages it touches through three
+///     sharded BufferManagers and reads records zero-copy out of the
+///     pinned frames. Parallel searchers contend only on same-shard
+///     pages. Works for v1 and v2 bundles, any size vs RAM.
+///   - Mapped: the three region files are mmap'd read-only at Open
+///     (validated up front — truncation is a clean Status::Corruption,
+///     never a SIGBUS) and accessors read records directly from the
+///     mapping with no pinning or locking at all.
 ///
 /// Thread safety: the read accessors (GetChildren, GetOccurrences,
 /// SubtreeOccCount, MaxRun, CollectSubtreeOccurrences, PoolStats) may be
-/// called from many threads concurrently. Each call pins the pages it
-/// touches through the three sharded BufferManagers and reads records
-/// zero-copy out of the pinned frames; every caller-visible buffer is an
-/// out-parameter owned by the calling worker. Because the managers are
-/// lock-sharded, parallel tree searchers only contend when they touch
-/// pages of the same shard — this is what converts PR 1's thread-pool
-/// parallelism into real disk-backed scaling.
+/// called from many threads concurrently on either backend; every
+/// caller-visible buffer is an out-parameter owned by the calling worker.
 class DiskSuffixTree : public TreeView {
  public:
   static StatusOr<std::unique_ptr<DiskSuffixTree>> Open(
       const std::string& base_path, DiskTreeOptions options = {});
+
+  ~DiskSuffixTree() override;
 
   // --- TreeView ---
   NodeId Root() const override { return 0; }
@@ -131,33 +163,42 @@ class DiskSuffixTree : public TreeView {
   }
   std::uint64_t SizeBytes() const override;
 
-  /// Primes the managers' sequential read-ahead for a front-to-back scan
-  /// (merge / CopyTree). No-op when read-ahead is disabled.
+  /// Primes for a front-to-back scan (merge / CopyTree): sequential
+  /// read-ahead on the buffered path, madvise MADV_SEQUENTIAL on mmap.
   void HintSequentialScan() const override;
 
   /// Buffer-manager statistics, per region. RegionStats::Total() gives
-  /// the old aggregate view.
+  /// the old aggregate view. All-zero on the mmap path: no pool exists.
   RegionStats PoolStats() const;
 
-  /// Resolved shard count of the region managers (after auto-detection).
+  /// Resolved shard count of the region managers (after auto-detection);
+  /// 0 on the mmap path.
   std::size_t pool_shards() const;
   storage::EvictionPolicyKind pool_eviction() const;
+
+  /// Read path this tree was opened with.
+  storage::IoMode io_mode() const;
+
+  /// Bytes mapped into the address space (mmap path; 0 when buffered).
+  std::uint64_t MappedBytes() const;
+
+  /// Mapped bytes currently resident in the kernel page cache (best
+  /// effort, mmap path only). Not a hot-path call.
+  std::uint64_t ResidentBytes() const;
+
+  /// On-disk format version of the bundle (1 or 2).
+  std::uint32_t format_version() const { return format_version_; }
 
  private:
   DiskSuffixTree() = default;
 
   std::string base_path_;
   DiskTreeOptions options_;
-  std::unique_ptr<storage::PagedFile> node_file_;
-  std::unique_ptr<storage::PagedFile> occ_file_;
-  std::unique_ptr<storage::PagedFile> label_file_;
-  // Managers are mutable: reads fault pages in and move policy state.
-  mutable std::unique_ptr<storage::BufferManager> nodes_;
-  mutable std::unique_ptr<storage::BufferManager> occs_;
-  mutable std::unique_ptr<storage::BufferManager> labels_;
+  std::unique_ptr<internal::TreeAccess> access_;
   std::uint64_t num_nodes_ = 0;
   std::uint64_t num_occs_ = 0;
   std::uint64_t num_label_symbols_ = 0;
+  std::uint32_t format_version_ = 0;
 };
 
 /// Serializes any TreeView to a disk bundle at `base_path`.
@@ -179,10 +220,17 @@ struct DiskBuildOptions {
 
 /// Builds a disk tree over all sequences of `db`: batches are built in
 /// memory, spilled, then pairwise-merged on disk until one tree remains at
-/// `base_path`.
+/// `base_path`. Intermediate trees are always opened buffered (they are
+/// scanned once and deleted); only the final open honors
+/// `options.tree.io_mode`.
 StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(
     const SymbolDatabase& db, const std::string& base_path,
     DiskBuildOptions options = {});
+
+/// Test hook: rewrites the meta page of a finalized v2 bundle as format
+/// v1 (the layouts share a common prefix), producing the bundle an older
+/// build would have written. Used to pin the version gate.
+Status DowngradeBundleToV1ForTest(const std::string& base_path);
 
 }  // namespace tswarp::suffixtree
 

@@ -20,6 +20,11 @@
 //     byte-identical match sets to the scalar backend across index kinds,
 //     thread counts, and the SeqScan baseline — and identical serial
 //     search stats, so the cascade prunes in exactly the same places.
+//  7. The mmap zero-copy read path serves byte-identical match sets to
+//     the buffered buffer-pool path over the same v2 bundle — across
+//     index kinds, thread counts, range and k-NN, monolithic and tiered —
+//     and the format gate holds: v1 bundles still open buffered but the
+//     mmap path refuses them with Status::Corruption.
 //
 // Sequences mix three adversarial shapes: Gaussian random walks, spike
 // trains (flat with rare large jumps — stresses the envelope edges), and
@@ -45,6 +50,8 @@
 #include "multivariate/multi_index.h"
 #include "seqdb/sequence_database.h"
 #include "storage/buffer_manager.h"
+#include "storage/mmap_file.h"
+#include "suffixtree/disk_tree.h"
 
 namespace tswarp {
 namespace {
@@ -254,6 +261,9 @@ TEST(DifferentialTest, DiskBackedSearchByteIdenticalAcrossPoolConfigs) {
     build.num_categories = 8;
     build.disk_path = testing::TempDir() + "/diff_disk_" + kind_name;
     build.disk_batch_sequences = 4;
+    // Pool configurations are a buffered-path concept: the mmap path has
+    // no pool at all (claim 7 covers it).
+    build.disk_io_mode = storage::IoMode::kBuffered;
     build.disk_pool_pages = 2;
     build.disk_pool_shards = 1;  // Single-mutex baseline.
     auto baseline = Index::Build(&db, build);
@@ -581,6 +591,7 @@ TEST(DifferentialTest, WorkStealingExecutorByteIdenticalAcrossThreadCounts) {
       disk.disk_path = testing::TempDir() + "/diff_steal_" + kind_name +
                        std::to_string(seed);
       disk.disk_batch_sequences = 4;
+      disk.disk_io_mode = storage::IoMode::kBuffered;
       disk.disk_pool_pages = 2;  // Tiny pool: evictions mid-search.
       auto disk_index = Index::Build(&db, disk);
       ASSERT_TRUE(disk_index.ok()) << disk_index.status().ToString();
@@ -816,6 +827,169 @@ TEST(DifferentialTest, TieredBackgroundMergeSnapshotsByteIdentical) {
   ExpectByteIdentical(knn_reference,
                       (*tiered)->Snapshot()->SearchKnn(c.q, 7),
                       "bg drained knn");
+}
+
+// ---------------------------------------------------------------------------
+// Claim 7: the mmap zero-copy read path is interchangeable with the
+// buffered path — same bundle, byte-identical answers — and the v1
+// format gate refuses mmap cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialTest, MmapReadPathByteIdenticalToBuffered) {
+  // For every index kind, the same persisted bundle is reopened through
+  // both read paths; every (io_mode, threads) combination must return
+  // byte-identical matches to the buffered serial reference, and the
+  // mmap reopen must show zero buffer-pool traffic (the whole point of
+  // the zero-copy path) with a non-empty mapping.
+  for (const IndexKind kind : {IndexKind::kSuffixTree,
+                               IndexKind::kCategorized,
+                               IndexKind::kSparse}) {
+    const std::string kind_name = core::IndexKindToString(kind);
+    const seqdb::SequenceDatabase db = RandomDb(
+        900 + static_cast<std::uint64_t>(kind));
+    Rng rng(9900 + static_cast<std::uint64_t>(kind));
+    const std::vector<Value> q = RandomShape(
+        &rng, static_cast<std::size_t>(rng.UniformInt(2, 8)), 1);
+    const Value eps = rng.Uniform(1.0, 10.0);
+
+    IndexOptions build;
+    build.kind = kind;
+    build.num_categories = 8;
+    build.disk_path = testing::TempDir() + "/diff_iomode_" + kind_name;
+    build.disk_batch_sequences = 4;
+    build.disk_io_mode = storage::IoMode::kBuffered;
+    build.disk_pool_pages = 2;  // Tiny pool: the buffered legs re-read.
+    auto baseline = Index::Build(&db, build);
+    ASSERT_TRUE(baseline.ok()) << kind_name << ": "
+                               << baseline.status().ToString();
+    const std::vector<Match> reference = baseline->Search(q, eps);
+    const std::vector<Match> knn_reference = baseline->SearchKnn(q, 7);
+
+    for (const storage::IoMode mode : {storage::IoMode::kBuffered,
+                                       storage::IoMode::kMmap}) {
+      IndexOptions reopen = build;
+      reopen.disk_io_mode = mode;
+      auto index = Index::Open(&db, reopen);
+      ASSERT_TRUE(index.ok()) << kind_name << ": "
+                              << index.status().ToString();
+      for (const std::size_t threads : {0u, 4u}) {
+        QueryOptions query_options;
+        query_options.num_threads = threads;
+        const std::string ctx = kind_name + " io=" +
+                                storage::IoModeToString(mode) +
+                                " threads=" + std::to_string(threads);
+        ExpectByteIdentical(reference, index->Search(q, eps, query_options),
+                            "iomode range " + ctx);
+        ExpectByteIdentical(knn_reference,
+                            index->SearchKnn(q, 7, query_options),
+                            "iomode knn " + ctx);
+      }
+      ASSERT_NE(index->disk_tree(), nullptr);
+      EXPECT_EQ(index->disk_tree()->io_mode(), mode) << kind_name;
+      if (mode == storage::IoMode::kMmap) {
+        const auto pool = index->disk_tree()->PoolStats().Total();
+        EXPECT_EQ(pool.hits + pool.misses, 0u)
+            << kind_name << ": mmap path touched the buffer pool";
+        EXPECT_GT(index->MappedStats().mapped_bytes, 0u) << kind_name;
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, TieredMmapByteIdenticalToMonolithic) {
+  // The tiered stack on the mmap path: merges write through buffered
+  // scratch trees, but every *published* disk tier is reopened mmap'd —
+  // and the stack still answers byte-identically to a monolithic index.
+  const TieredCase c = MakeTieredCase(17);
+  for (const IndexKind kind : {IndexKind::kSuffixTree,
+                               IndexKind::kCategorized,
+                               IndexKind::kSparse}) {
+    const std::string kind_name = core::IndexKindToString(kind);
+    IndexOptions mono;
+    mono.kind = kind;
+    mono.num_categories = 8;
+    auto monolithic = Index::Build(&c.full_db, mono);
+    ASSERT_TRUE(monolithic.ok());
+    const std::vector<Match> reference = monolithic->Search(c.q, c.eps);
+    const std::vector<Match> knn_reference = monolithic->SearchKnn(c.q, 7);
+
+    core::TieredOptions tiered_options;
+    tiered_options.index = mono;
+    tiered_options.index.disk_path =
+        testing::TempDir() + "/diff_tiered_mmap_" + kind_name;
+    tiered_options.index.disk_batch_sequences = 4;
+    tiered_options.index.disk_io_mode = storage::IoMode::kMmap;
+    tiered_options.memtable_max_sequences = 1;
+    tiered_options.max_sealed_tiers = 1;
+    tiered_options.merge_in_background = false;
+    auto tiered = core::TieredIndex::Create(&c.base_db, tiered_options);
+    ASSERT_TRUE(tiered.ok()) << tiered.status().ToString();
+    for (std::size_t i = c.base_count; i < c.data.size(); ++i) {
+      ASSERT_TRUE((*tiered)->Append(c.data[i]).ok());
+    }
+    ASSERT_GE((*tiered)->Stats().merges_completed, 1u);
+    const auto snapshot = (*tiered)->Snapshot();
+    std::size_t mapped_tiers = 0;
+    for (const auto& tier : snapshot->tiers()) {
+      if (!tier->info.on_disk) continue;
+      EXPECT_EQ(tier->info.io_mode, storage::IoMode::kMmap) << kind_name;
+      EXPECT_GT(tier->info.mapped_bytes, 0u) << kind_name;
+      ++mapped_tiers;
+    }
+    EXPECT_GE(mapped_tiers, 1u) << kind_name;
+    for (const std::size_t threads : {0u, 4u}) {
+      QueryOptions qo;
+      qo.num_threads = threads;
+      const std::string ctx =
+          kind_name + " threads=" + std::to_string(threads);
+      ExpectByteIdentical(reference, snapshot->Search(c.q, c.eps, qo),
+                          "tiered mmap range " + ctx);
+      ExpectByteIdentical(knn_reference, snapshot->SearchKnn(c.q, 7, qo),
+                          "tiered mmap knn " + ctx);
+    }
+  }
+}
+
+TEST(DifferentialTest, V1BundleVersionGate) {
+  // A v1 bundle (no section table) must keep opening on the buffered
+  // path with byte-identical answers, while the mmap path refuses it
+  // with Corruption — the relocatable layout only exists in v2.
+  const seqdb::SequenceDatabase db = RandomDb(777);
+  Rng rng(10700);
+  const std::vector<Value> q = RandomShape(
+      &rng, static_cast<std::size_t>(rng.UniformInt(2, 8)), 1);
+  const Value eps = rng.Uniform(1.0, 10.0);
+
+  IndexOptions build;
+  build.kind = IndexKind::kSparse;
+  build.num_categories = 8;
+  build.disk_path = testing::TempDir() + "/diff_v1_gate";
+  build.disk_batch_sequences = 4;
+  build.disk_io_mode = storage::IoMode::kBuffered;
+  auto baseline = Index::Build(&db, build);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_NE(baseline->disk_tree(), nullptr);
+  EXPECT_EQ(baseline->disk_tree()->format_version(), 2u);
+  const std::vector<Match> reference = baseline->Search(q, eps);
+  const std::vector<Match> knn_reference = baseline->SearchKnn(q, 7);
+
+  ASSERT_TRUE(suffixtree::DowngradeBundleToV1ForTest(build.disk_path).ok());
+
+  // Buffered: a v1 bundle is still first-class.
+  auto buffered = Index::Open(&db, build);
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  ASSERT_NE(buffered->disk_tree(), nullptr);
+  EXPECT_EQ(buffered->disk_tree()->format_version(), 1u);
+  ExpectByteIdentical(reference, buffered->Search(q, eps), "v1 range");
+  ExpectByteIdentical(knn_reference, buffered->SearchKnn(q, 7), "v1 knn");
+
+  // Mmap: refused cleanly, no crash.
+  IndexOptions mmap_reopen = build;
+  mmap_reopen.disk_io_mode = storage::IoMode::kMmap;
+  auto refused = Index::Open(&db, mmap_reopen);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCorruption)
+      << refused.status().ToString();
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "core/index.h"
 #include "datagen/generators.h"
+#include "storage/mmap_file.h"
 #include "suffixtree/disk_tree.h"
 #include "suffixtree/suffix_tree.h"
 
@@ -95,6 +96,94 @@ TEST_F(FailureInjectionTest, EmptySymbolDatabaseBuildFails) {
   suffixtree::SymbolDatabase empty;
   auto tree = suffixtree::BuildDiskTree(empty, Path("e"));
   EXPECT_FALSE(tree.ok());
+}
+
+// --- mmap read path: every malformed bundle is refused at Open with a
+// clean Corruption status — the mapping validates section extents up
+// front, so no query ever dereferences past EOF (no SIGBUS).
+
+suffixtree::DiskTreeOptions MmapOptions() {
+  suffixtree::DiskTreeOptions options;
+  options.io_mode = storage::IoMode::kMmap;
+  return options;
+}
+
+TEST_F(FailureInjectionTest, TruncatedNodesRejectedUnderMmap) {
+  WriteBundle(Path("t"));
+  // 40 bytes holds one 32-byte node record at most; the bundle has more.
+  std::filesystem::resize_file(Path("t") + ".nodes", 40);
+  auto tree = suffixtree::DiskSuffixTree::Open(Path("t"), MmapOptions());
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, TruncatedOccsRejectedUnderMmap) {
+  WriteBundle(Path("t"));
+  std::filesystem::resize_file(Path("t") + ".occs", 8);
+  auto tree = suffixtree::DiskSuffixTree::Open(Path("t"), MmapOptions());
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, CorruptSectionTableRejected) {
+  WriteBundle(Path("t"));
+  // Byte 40 starts the v2 section table (section_count).
+  CorruptFile(Path("t") + ".meta", 40, "XXXXXXXX");
+  auto tree = suffixtree::DiskSuffixTree::Open(Path("t"), MmapOptions());
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, V1BundleRejectedByMmapOpensBuffered) {
+  WriteBundle(Path("t"));
+  ASSERT_TRUE(suffixtree::DowngradeBundleToV1ForTest(Path("t")).ok());
+  // The mmap path needs the v2 section table; v1 gets a clean refusal...
+  auto mapped = suffixtree::DiskSuffixTree::Open(Path("t"), MmapOptions());
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+  // ...while the buffered path still serves the old format.
+  auto buffered = suffixtree::DiskSuffixTree::Open(Path("t"));
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  EXPECT_EQ((*buffered)->format_version(), 1u);
+}
+
+TEST_F(FailureInjectionTest, WriterFailsCleanlyWithoutParentDir) {
+  // The writer's durable-publish path (create, write, fsync files, fsync
+  // the containing directory) must surface a missing directory as a
+  // Status, not a crash — the same error path a failed directory fsync
+  // takes after a merge rename.
+  suffixtree::SymbolDatabase db;
+  db.Add({1, 2, 1, 2, 3, 1});
+  const suffixtree::SuffixTree tree = suffixtree::BuildSuffixTree(db);
+  const std::string base = Path("no_such_subdir") + "/t";
+  auto written = suffixtree::WriteTreeToDisk(tree, base);
+  EXPECT_FALSE(written.ok());
+}
+
+TEST_F(FailureInjectionTest, PublishedBundleLeavesNoTempFiles) {
+  // After a build that goes through the tmp-write + rename + dir-fsync
+  // publish protocol, only the final bundle names remain and the result
+  // reopens on the mmap path.
+  datagen::RandomWalkOptions data;
+  data.num_sequences = 6;
+  data.avg_length = 24;
+  const seqdb::SequenceDatabase db = datagen::GenerateRandomWalks(data);
+  core::IndexOptions options;
+  options.kind = core::IndexKind::kSparse;
+  options.num_categories = 4;
+  options.disk_path = Path("pub");
+  options.disk_batch_sequences = 2;  // Force spill + merge intermediates.
+  options.disk_io_mode = storage::IoMode::kMmap;
+  auto index = core::Index::Build(&db, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find("tmp"),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  auto reopened = core::Index::Open(&db, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GT(reopened->MappedStats().mapped_bytes, 0u);
 }
 
 }  // namespace

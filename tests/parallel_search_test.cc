@@ -127,7 +127,10 @@ TEST(ParallelSearchTest, DiskBackedIndexMatchesSerial) {
   options.kind = IndexKind::kSparse;
   options.num_categories = 8;
   options.disk_path = testing::TempDir() + "/parallel_disk_idx";
-  // A tiny pool so concurrent workers actually contend on evictions.
+  // A tiny pool so concurrent workers actually contend on evictions —
+  // which requires the buffered read path; the mmap leg below exercises
+  // the pin-free cursors under the same concurrency.
+  options.disk_io_mode = storage::IoMode::kBuffered;
   options.disk_pool_pages = 2;
   options.disk_batch_sequences = 4;
   auto index = Index::Build(&db, options);
@@ -146,6 +149,19 @@ TEST(ParallelSearchTest, DiskBackedIndexMatchesSerial) {
   ASSERT_NE(index->disk_tree(), nullptr);
   const auto pool_stats = index->disk_tree()->PoolStats().Total();
   EXPECT_GT(pool_stats.hits + pool_stats.misses, 0u);
+
+  // Same bundle served zero-copy: identical matches, zero pool traffic.
+  options.disk_io_mode = storage::IoMode::kMmap;
+  auto mapped = Index::Open(&db, options);
+  ASSERT_TRUE(mapped.ok());
+  testutil::ExpectSameMatches(serial, mapped->Search(q, 8.0, par_opts),
+                              "mmap disk range");
+  ExpectIdenticalKnn(knn_serial, mapped->SearchKnn(q, 9, par_opts),
+                     "mmap disk knn");
+  ASSERT_NE(mapped->disk_tree(), nullptr);
+  const auto mapped_stats = mapped->disk_tree()->PoolStats().Total();
+  EXPECT_EQ(mapped_stats.hits + mapped_stats.misses, 0u);
+  EXPECT_GT(mapped->MappedStats().mapped_bytes, 0u);
 }
 
 TEST(ParallelSearchTest, KnnTieBoundaryIsDeterministic) {

@@ -109,12 +109,13 @@ int Usage() {
                "  info DB\n"
                "  build DB --index PATH [--kind st|stc|sstc] "
                "[--categories C] [--method el|me|km] [--pool-pages P] "
-               "[--pool-shards S] [--eviction lru|clock] [--readahead R]\n"
+               "[--pool-shards S] [--eviction lru|clock] [--readahead R] "
+               "[--io mmap|buffered]\n"
                "  search DB --query v1,v2,... --epsilon E [--kind ...] "
                "[--categories C] [--index PATH] [--scan] [--limit N] "
                "[--threads T] [--band B] [--no-lb] [--stats] [--multi D] "
                "[--pool-pages P] [--pool-shards S] [--eviction lru|clock] "
-               "[--readahead R]\n"
+               "[--readahead R] [--io mmap|buffered]\n"
                "  knn DB --query v1,v2,... --k K [--kind ...] "
                "[--categories C] [--threads T] [--band B] [--no-lb] "
                "[--stats] [--multi D]\n"
@@ -204,10 +205,22 @@ void PrintSearchStats(const Index& index, const core::SearchStats& stats) {
   }
   if (index.disk_tree() != nullptr) {
     const suffixtree::DiskSuffixTree& tree = *index.disk_tree();
-    std::printf("pool config: %zu pages x 3 regions, %zu shards, %s "
-                "eviction\n",
-                index.options().disk_pool_pages, tree.pool_shards(),
-                storage::EvictionPolicyKindToString(tree.pool_eviction()));
+    std::printf("io mode: %s (bundle format v%u)\n",
+                storage::IoModeToString(tree.io_mode()),
+                tree.format_version());
+    if (tree.io_mode() == storage::IoMode::kMmap) {
+      const core::MappedIoStats mapped = index.MappedStats();
+      std::printf("mapped: %llu bytes (%llu resident), zero-copy — no "
+                  "buffer pool on the read path\n",
+                  static_cast<unsigned long long>(mapped.mapped_bytes),
+                  static_cast<unsigned long long>(mapped.resident_bytes));
+    } else {
+      std::printf("pool config: %zu pages x 3 regions, %zu shards, %s "
+                  "eviction\n",
+                  index.options().disk_pool_pages, tree.pool_shards(),
+                  storage::EvictionPolicyKindToString(tree.pool_eviction()));
+    }
+    // All-zero counters under mmap: the zero-copy path never pins.
     const suffixtree::RegionStats pool = tree.PoolStats();
     PrintPoolLine("nodes:", pool.nodes);
     PrintPoolLine("occs:", pool.occs);
@@ -270,6 +283,27 @@ bool ApplyPoolFlags(int argc, char** argv, IndexOptions* options) {
     return false;
   }
   options->disk_readahead_pages = static_cast<std::size_t>(readahead);
+  return true;
+}
+
+/// Parses --io mmap|buffered into `options`. Like the pool flags it only
+/// makes sense for a disk-backed index; returns false (after printing) on
+/// a bad value or a missing --index.
+bool ApplyIoFlag(int argc, char** argv, IndexOptions* options) {
+  const char* io = FlagValue(argc, argv, "--io", nullptr);
+  if (io == nullptr) return true;
+  if (options->disk_path.empty()) {
+    std::fprintf(stderr,
+                 "--io selects the disk read path and is only meaningful "
+                 "with --index PATH\n");
+    return false;
+  }
+  const StatusOr<storage::IoMode> mode = storage::ParseIoMode(io);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "--io: %s\n", mode.status().ToString().c_str());
+    return false;
+  }
+  options->disk_io_mode = *mode;
   return true;
 }
 
@@ -483,6 +517,7 @@ int CmdBuild(int argc, char** argv) {
     return 2;
   }
   if (!ApplyPoolFlags(argc, argv, &options)) return 1;
+  if (!ApplyIoFlag(argc, argv, &options)) return 1;
   auto index = Index::Build(&*db, options);
   if (!index.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
@@ -533,6 +568,7 @@ int CmdSearch(int argc, char** argv) {
   } else {
     IndexOptions options = OptionsFromFlags(argc, argv);
     if (!ApplyPoolFlags(argc, argv, &options)) return 1;
+  if (!ApplyIoFlag(argc, argv, &options)) return 1;
     // Open-or-build in one expression: Index is not move-assignable (the
     // snapshot handle has exactly one sanctioned swap path), so build the
     // StatusOr once instead of reassigning it.
@@ -597,6 +633,7 @@ int CmdKnn(int argc, char** argv) {
   }
   IndexOptions options = OptionsFromFlags(argc, argv);
   if (!ApplyPoolFlags(argc, argv, &options)) return 1;
+  if (!ApplyIoFlag(argc, argv, &options)) return 1;
   auto index = Index::Build(&*db, options);
   if (!index.ok()) {
     std::fprintf(stderr, "index failed: %s\n",

@@ -1,8 +1,8 @@
 // tswarpd: serves one tswarp index over HTTP/JSON.
 //
 //   tswarpd_cli serve DB [--port P] [--address A] [--kind st|stc|sstc]
-//       [--categories C] [--index PATH] [--queue N] [--batch N]
-//       [--search-threads T] [--conn-threads T] [--streaming]
+//       [--categories C] [--index PATH] [--io mmap|buffered] [--queue N]
+//       [--batch N] [--search-threads T] [--conn-threads T] [--streaming]
 //       [--memtable N] [--sealed N] [--smoke]
 //   tswarpd_cli append VALUES [--port P] [--address A]
 //
@@ -73,9 +73,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: tswarpd_cli serve DB [--port P] [--address A] "
                "[--kind st|stc|sstc] [--categories C] [--index PATH] "
-               "[--queue N] [--batch N] [--search-threads T] "
-               "[--conn-threads T] [--streaming] [--memtable N] "
-               "[--sealed N] [--smoke]\n"
+               "[--io mmap|buffered] [--queue N] [--batch N] "
+               "[--search-threads T] [--conn-threads T] [--streaming] "
+               "[--memtable N] [--sealed N] [--smoke]\n"
                "       tswarpd_cli append VALUES [--port P] [--address A]\n"
                "  VALUES is one comma-separated sequence, e.g. 12,14,13,15\n");
   return 2;
@@ -192,6 +192,20 @@ int Serve(int argc, char** argv) {
       FlagLong(argc, argv, "--categories", 64));
   const char* index_path = FlagValue(argc, argv, "--index", nullptr);
   if (index_path != nullptr) options.disk_path = index_path;
+  if (const char* io = FlagValue(argc, argv, "--io", nullptr)) {
+    if (index_path == nullptr) {
+      std::fprintf(stderr,
+                   "--io selects the disk read path and needs --index "
+                   "PATH\n");
+      return 2;
+    }
+    const StatusOr<storage::IoMode> mode = storage::ParseIoMode(io);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "--io: %s\n", mode.status().ToString().c_str());
+      return 2;
+    }
+    options.disk_io_mode = *mode;
+  }
 
   // With a persisted bundle, prefer reopening it; fall back to building
   // (which persists for the next start). One expression because Index is
