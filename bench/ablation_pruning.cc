@@ -2,6 +2,11 @@
 // off, for the tree search and the sequential scan, across thresholds.
 // R_p grows as epsilon shrinks (Section 4.3); with pruning disabled the
 // traversal degenerates toward visiting every node.
+//
+// --json writes BENCH_ablation_pruning.json (see report_json.h): one
+// entry per epsilon with the pruned per-query latency and the R_p /
+// speedup counters, so later sessions can diff the pruning trajectory
+// against the committed baseline.
 
 #include <cstdio>
 #include <vector>
@@ -9,10 +14,12 @@
 #include "bench_util.h"
 #include "core/index.h"
 #include "core/seq_scan.h"
+#include "report_json.h"
 
 namespace tswarp {
 namespace {
 
+using bench::JsonReport;
 using bench::PaperQueries;
 using bench::PaperStockDb;
 using bench::Timer;
@@ -23,6 +30,8 @@ using core::QueryOptions;
 using core::SearchStats;
 
 int Run(int argc, char** argv) {
+  const bool json = bench::StripJsonFlag(&argc, argv);
+  JsonReport report("ablation_pruning");
   const bool quick = bench::HasFlag(argc, argv, "--quick");
   const auto num_queries = static_cast<std::size_t>(
       bench::FlagValue(argc, argv, "--queries", quick ? 3 : 10));
@@ -57,15 +66,24 @@ int Run(int argc, char** argv) {
       full.rows_pushed += s.rows_pushed;
     }
     const double full_time = t2.Seconds();
+    const double speedup = full_time / pruned_time;
+    const double reduction = static_cast<double>(full.rows_pushed) /
+                             static_cast<double>(pruned.rows_pushed);
     std::printf("%-6.0f %12.4f %12.4f %9.1fx %16llu %16llu %8.1f\n", eps,
                 pruned_time / static_cast<double>(queries.size()),
                 full_time / static_cast<double>(queries.size()),
-                full_time / pruned_time,
+                speedup,
                 static_cast<unsigned long long>(pruned.rows_pushed),
                 static_cast<unsigned long long>(full.rows_pushed),
-                static_cast<double>(full.rows_pushed) /
-                    static_cast<double>(pruned.rows_pushed));
+                reduction);
+    report.Add("eps/" + std::to_string(static_cast<long>(eps)),
+               pruned_time / static_cast<double>(queries.size()) * 1e9,
+               {{"speedup", speedup},
+                {"R_p", reduction},
+                {"rows_prune", static_cast<double>(pruned.rows_pushed)},
+                {"rows_noprune", static_cast<double>(full.rows_pushed)}});
   }
+  if (json && !report.Write()) return 1;
   return 0;
 }
 

@@ -1,0 +1,198 @@
+// Ablation A7: per-node envelope summaries — the subtree screen ahead of
+// the LB cascade, and the recall dial it enables.
+//
+// Two legs, on synthetic stock and ECG workloads:
+//
+//  1. Exact leg (approx_factor 1.0): summaries off vs on. The screen must
+//     return the identical answer while cutting nodes expanded and table
+//     rows pushed — the GetChildren / row-step reduction the summary
+//     section buys. The "summary_pruned" counter is the number of
+//     subtrees skipped with zero row-step work; CI asserts it is > 0.
+//
+//  2. Dial leg (approx_factor > 1): sweeps the factor and reports the
+//     recall/latency frontier. At factor f the screen prunes an edge when
+//     summary_lb * f exceeds the threshold, so results are always a
+//     subset of the exact answer; recall = |approx| / |exact| (measured
+//     over the whole workload) against per-query latency.
+//
+// --json writes BENCH_ablation_sketch.json (see report_json.h):
+//   exact/<ds>/{off,on}  latency + nodes_visited/rows_pushed/answers,
+//                        and on-entries carry row_reduction + pruned
+//   dial/<ds>/<factor>   latency + recall/answers/summary_pruned
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index.h"
+#include "report_json.h"
+
+namespace tswarp {
+namespace {
+
+using bench::JsonReport;
+using bench::PaperQueries;
+using bench::Timer;
+using core::Index;
+using core::IndexKind;
+using core::IndexOptions;
+using core::QueryOptions;
+using core::SearchStats;
+
+struct LegResult {
+  double per_query_seconds = 0;
+  SearchStats stats;
+};
+
+LegResult RunLeg(const Index& index,
+                 const std::vector<seqdb::Sequence>& queries, Value eps,
+                 const QueryOptions& options) {
+  LegResult result;
+  Timer timer;
+  for (const seqdb::Sequence& q : queries) {
+    SearchStats s;
+    index.Search(q, eps, options, &s);
+    result.stats.Merge(s);
+  }
+  result.per_query_seconds =
+      timer.Seconds() / static_cast<double>(queries.size());
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  const bool json = bench::StripJsonFlag(&argc, argv);
+  JsonReport report("ablation_sketch");
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const auto num_queries = static_cast<std::size_t>(
+      bench::FlagValue(argc, argv, "--queries", quick ? 3 : 10));
+  const Value eps =
+      static_cast<Value>(bench::FlagValue(argc, argv, "--epsilon", 10));
+
+  struct Workload {
+    const char* name;
+    seqdb::SequenceDatabase db;
+  };
+  datagen::StockOptions stock;
+  if (quick) stock.num_sequences = 150;
+  datagen::EcgOptions ecg;
+  ecg.num_sequences = quick ? 20 : 50;
+  std::vector<Workload> workloads;
+  workloads.push_back({"stock", datagen::GenerateStocks(stock)});
+  workloads.push_back({"ecg", datagen::GenerateEcg(ecg)});
+
+  bool screened_something = false;
+  for (const Workload& w : workloads) {
+    const std::vector<seqdb::Sequence> queries =
+        PaperQueries(w.db, num_queries);
+    IndexOptions options;
+    options.kind = IndexKind::kSparse;
+    options.num_categories = 40;
+    auto index = Index::Build(&w.db, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s build failed: %s\n", w.name,
+                   index.status().ToString().c_str());
+      return 1;
+    }
+
+    // --- Leg 1: exact, screen off vs on.
+    QueryOptions off;
+    off.use_node_summaries = false;
+    const LegResult no_screen = RunLeg(*index, queries, eps, off);
+    const LegResult screen = RunLeg(*index, queries, eps, QueryOptions{});
+    if (screen.stats.answers != no_screen.stats.answers) {
+      std::fprintf(stderr,
+                   "%s: summary screen changed the answer count "
+                   "(%llu vs %llu) — exactness bug\n",
+                   w.name,
+                   static_cast<unsigned long long>(screen.stats.answers),
+                   static_cast<unsigned long long>(no_screen.stats.answers));
+      return 1;
+    }
+    screened_something |= screen.stats.nodes_pruned_by_summary > 0;
+    const double node_reduction =
+        static_cast<double>(no_screen.stats.nodes_visited) /
+        static_cast<double>(screen.stats.nodes_visited);
+    const double row_reduction =
+        static_cast<double>(no_screen.stats.rows_pushed) /
+        static_cast<double>(screen.stats.rows_pushed);
+    std::printf(
+        "Ablation A7 [%s]: SST_C(ME,40), %zu seqs, eps %.0f, %zu queries\n",
+        w.name, w.db.size(), eps, queries.size());
+    std::printf("  %-10s %12s %14s %14s %12s\n", "screen", "time (ms)",
+                "nodes", "rows", "answers");
+    std::printf("  %-10s %12.3f %14llu %14llu %12llu\n", "off",
+                no_screen.per_query_seconds * 1e3,
+                static_cast<unsigned long long>(no_screen.stats.nodes_visited),
+                static_cast<unsigned long long>(no_screen.stats.rows_pushed),
+                static_cast<unsigned long long>(no_screen.stats.answers));
+    std::printf("  %-10s %12.3f %14llu %14llu %12llu\n", "on",
+                screen.per_query_seconds * 1e3,
+                static_cast<unsigned long long>(screen.stats.nodes_visited),
+                static_cast<unsigned long long>(screen.stats.rows_pushed),
+                static_cast<unsigned long long>(screen.stats.answers));
+    std::printf("  (nodes expanded /%.2f, rows pushed /%.2f, %llu subtrees "
+                "pruned — identical answers)\n\n",
+                node_reduction, row_reduction,
+                static_cast<unsigned long long>(
+                    screen.stats.nodes_pruned_by_summary));
+    report.Add(std::string("exact/") + w.name + "/off",
+               no_screen.per_query_seconds * 1e9,
+               {{"nodes_visited",
+                 static_cast<double>(no_screen.stats.nodes_visited)},
+                {"rows_pushed",
+                 static_cast<double>(no_screen.stats.rows_pushed)},
+                {"answers", static_cast<double>(no_screen.stats.answers)}});
+    report.Add(std::string("exact/") + w.name + "/on",
+               screen.per_query_seconds * 1e9,
+               {{"nodes_visited",
+                 static_cast<double>(screen.stats.nodes_visited)},
+                {"rows_pushed",
+                 static_cast<double>(screen.stats.rows_pushed)},
+                {"answers", static_cast<double>(screen.stats.answers)},
+                {"node_reduction", node_reduction},
+                {"row_reduction", row_reduction},
+                {"summary_pruned",
+                 static_cast<double>(
+                     screen.stats.nodes_pruned_by_summary)}});
+
+    // --- Leg 2: the recall dial.
+    std::printf("  %-8s %12s %10s %12s %14s\n", "factor", "time (ms)",
+                "recall", "answers", "pruned");
+    for (const double factor : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+      QueryOptions dial;
+      dial.approx_factor = static_cast<Value>(factor);
+      const LegResult leg = RunLeg(*index, queries, eps, dial);
+      const double recall =
+          no_screen.stats.answers == 0
+              ? 1.0
+              : static_cast<double>(leg.stats.answers) /
+                    static_cast<double>(no_screen.stats.answers);
+      std::printf("  %-8.1f %12.3f %9.1f%% %12llu %14llu\n", factor,
+                  leg.per_query_seconds * 1e3, recall * 100,
+                  static_cast<unsigned long long>(leg.stats.answers),
+                  static_cast<unsigned long long>(
+                      leg.stats.nodes_pruned_by_summary));
+      char name[64];
+      std::snprintf(name, sizeof(name), "dial/%s/%.1f", w.name, factor);
+      report.Add(name, leg.per_query_seconds * 1e9,
+                 {{"recall", recall},
+                  {"answers", static_cast<double>(leg.stats.answers)},
+                  {"summary_pruned",
+                   static_cast<double>(leg.stats.nodes_pruned_by_summary)}});
+    }
+    std::printf("\n");
+  }
+  if (!screened_something) {
+    std::fprintf(stderr,
+                 "summary screen never pruned a subtree — screen inert\n");
+    return 1;
+  }
+  if (json && !report.Write()) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tswarp
+
+int main(int argc, char** argv) { return tswarp::Run(argc, argv); }

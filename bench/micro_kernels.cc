@@ -30,6 +30,7 @@
 #include "dtw/base.h"
 #include "dtw/dtw.h"
 #include "dtw/envelope.h"
+#include "dtw/simd.h"
 #include "dtw/warping_table.h"
 #include "seqdb/sequence_database.h"
 #include "suffixtree/merge.h"
@@ -250,6 +251,51 @@ void BM_LbCascadePruneRate(benchmark::State& state) {
                          benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_LbCascadePruneRate)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_SummaryLb(benchmark::State& state) {
+  // The node-summary screen kernel: per-query-element min distance to a
+  // handful of value hulls, summed with early abandon. Args: query length
+  // and hull count (the driver passes at most 6 = prefix + subtree + 4
+  // label segments).
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto k = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  std::vector<Value> lo(k), hi(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Value center = rng.Uniform(20, 80);
+    lo[i] = center - rng.Uniform(0.5, 5.0);
+    hi[i] = center + rng.Uniform(0.5, 5.0);
+  }
+  const auto& kernels = dtw::simd::Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.summary_lb(
+        q.data(), lo.data(), hi.data(), k, q.size(), kInfinity));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_SummaryLb)
+    ->ArgNames({"n", "hulls"})
+    ->Args({20, 2})
+    ->Args({20, 6})
+    ->Args({100, 2})
+    ->Args({100, 6});
+
+void BM_SummaryLbEarlyAbandon(benchmark::State& state) {
+  // Same kernel with a cap it crosses almost immediately (hulls far from
+  // the query): the block-granular early abandon should make cost nearly
+  // independent of n.
+  const auto q = RandomSequence(static_cast<std::size_t>(state.range(0)), 1);
+  const std::vector<Value> lo = {500.0, 620.0};
+  const std::vector<Value> hi = {510.0, 640.0};
+  const auto& kernels = dtw::simd::Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.summary_lb(
+        q.data(), lo.data(), hi.data(), lo.size(), q.size(), 10.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SummaryLbEarlyAbandon)->Arg(20)->Arg(100)->Arg(400);
 
 void BM_DtwAlign(benchmark::State& state) {
   const auto a = RandomSequence(static_cast<std::size_t>(state.range(0)), 8);

@@ -50,6 +50,12 @@ struct SearchStats {
   // whose extension loop ran under the running-envelope bound.
   std::uint64_t lb_invocations = 0;     // Envelope bounds evaluated.
   std::uint64_t lb_pruned = 0;          // Candidates/extensions it killed.
+  // Node-summary pre-filter (subtree hulls screened before descending an
+  // edge; see docs/tuning.md "Node summaries & the recall dial"). An
+  // invocation is one edge screened against the summary hulls; a prune
+  // skips the child's entire subtree with zero row-step work.
+  std::uint64_t summary_lb_invocations = 0;
+  std::uint64_t nodes_pruned_by_summary = 0;
   std::uint64_t exact_dtw_calls = 0;    // Exact distance computations.
   std::uint64_t answers = 0;            // Final matches.
   // Prefix rows re-pushed by parallel workers entering a branch task (the
@@ -86,6 +92,8 @@ struct SearchStats {
     endpoint_rejections += other.endpoint_rejections;
     lb_invocations += other.lb_invocations;
     lb_pruned += other.lb_pruned;
+    summary_lb_invocations += other.summary_lb_invocations;
+    nodes_pruned_by_summary += other.nodes_pruned_by_summary;
     exact_dtw_calls += other.exact_dtw_calls;
     answers += other.answers;
     replayed_rows += other.replayed_rows;

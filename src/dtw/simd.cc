@@ -123,6 +123,20 @@ void ScalarBandedExtrema(const Value* seq, std::size_t n, std::size_t band,
       });
 }
 
+Value ScalarSummaryLb(const Value* q, const Value* lo, const Value* hi,
+                      std::size_t num_intervals, std::size_t n, Value cap) {
+  return in::StripedSum(
+      n,
+      [q, lo, hi, num_intervals](std::size_t i) {
+        Value d = in::IntervalDist(q[i], lo[0], hi[0]);
+        for (std::size_t k = 1; k < num_intervals; ++k) {
+          d = in::MinPd(d, in::IntervalDist(q[i], lo[k], hi[k]));
+        }
+        return d;
+      },
+      cap);
+}
+
 constexpr KernelTable kScalarTable = {
     "scalar",
     ScalarRowStepValue,
@@ -138,6 +152,7 @@ constexpr KernelTable kScalarTable = {
     ScalarLbImprovedPass1Const,
     ScalarStridedGather,
     ScalarBandedExtrema,
+    ScalarSummaryLb,
 };
 
 // Runtime CPU feature checks live here, in a TU compiled WITHOUT any

@@ -156,6 +156,16 @@ struct KernelTable {
   /// padded copy per extremum side). Requires band >= 1 and n >= 1.
   void (*banded_extrema)(const Value* seq, std::size_t n, std::size_t band,
                          Value* lower, Value* upper, Value* work);
+
+  /// Node-summary lower bound: sum_i min_k IntervalDist(q[i], lo[k], hi[k])
+  /// over `num_intervals` value hulls (the search driver passes at most
+  /// 6: prefix hull + subtree hull + up to 4 label-envelope segments).
+  /// Canonical dataflow is StripedSum over the per-element interval-min
+  /// (k ascending, MinPd semantics), so results are bitwise identical
+  /// across backends; early-abandons past `cap` at kLbBlock boundaries
+  /// (a partial sum is still a lower bound). Requires num_intervals >= 1.
+  Value (*summary_lb)(const Value* q, const Value* lo, const Value* hi,
+                      std::size_t num_intervals, std::size_t n, Value cap);
 };
 
 /// The active kernel table. First use resolves the backend: an explicit

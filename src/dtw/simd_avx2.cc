@@ -313,6 +313,36 @@ void BandedExtrema(const Value* seq, std::size_t n, std::size_t band,
       });
 }
 
+Value SummaryLb(const Value* q, const Value* lo, const Value* hi,
+                std::size_t num_intervals, std::size_t n, Value cap) {
+  const __m256d zero = _mm256_setzero_pd();
+  return Striped(
+      n,
+      [&](std::size_t i) {
+        const __m256d x = _mm256_loadu_pd(q + i);
+        __m256d d = _mm256_max_pd(
+            _mm256_max_pd(_mm256_sub_pd(x, _mm256_set1_pd(hi[0])),
+                          _mm256_sub_pd(_mm256_set1_pd(lo[0]), x)),
+            zero);
+        for (std::size_t k = 1; k < num_intervals; ++k) {
+          const __m256d dk = _mm256_max_pd(
+              _mm256_max_pd(_mm256_sub_pd(x, _mm256_set1_pd(hi[k])),
+                            _mm256_sub_pd(_mm256_set1_pd(lo[k]), x)),
+              zero);
+          d = _mm256_min_pd(d, dk);
+        }
+        return d;
+      },
+      [&](std::size_t i) {
+        Value d = in::IntervalDist(q[i], lo[0], hi[0]);
+        for (std::size_t k = 1; k < num_intervals; ++k) {
+          d = in::MinPd(d, in::IntervalDist(q[i], lo[k], hi[k]));
+        }
+        return d;
+      },
+      cap);
+}
+
 constexpr KernelTable kTable = {
     "avx2",
     RowStepValue,
@@ -328,6 +358,7 @@ constexpr KernelTable kTable = {
     LbImprovedPass1Const,
     StridedGather,
     BandedExtrema,
+    SummaryLb,
 };
 
 }  // namespace

@@ -305,6 +305,31 @@ void BandedExtrema(const Value* seq, std::size_t n, std::size_t band,
       });
 }
 
+Value SummaryLb(const Value* q, const Value* lo, const Value* hi,
+                std::size_t num_intervals, std::size_t n, Value cap) {
+  const V4 zero = Set1(0.0);
+  return Striped(
+      n,
+      [&](std::size_t i) {
+        const V4 x = Load(q + i);
+        V4 d = Max(Max(Sub(x, Set1(hi[0])), Sub(Set1(lo[0]), x)), zero);
+        for (std::size_t k = 1; k < num_intervals; ++k) {
+          const V4 dk =
+              Max(Max(Sub(x, Set1(hi[k])), Sub(Set1(lo[k]), x)), zero);
+          d = Min(d, dk);
+        }
+        return d;
+      },
+      [&](std::size_t i) {
+        Value d = in::IntervalDist(q[i], lo[0], hi[0]);
+        for (std::size_t k = 1; k < num_intervals; ++k) {
+          d = in::MinPd(d, in::IntervalDist(q[i], lo[k], hi[k]));
+        }
+        return d;
+      },
+      cap);
+}
+
 constexpr KernelTable kTable = {
     "sse2",
     RowStepValue,
@@ -320,6 +345,7 @@ constexpr KernelTable kTable = {
     LbImprovedPass1Const,
     StridedGather,
     BandedExtrema,
+    SummaryLb,
 };
 
 }  // namespace

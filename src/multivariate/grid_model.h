@@ -23,6 +23,9 @@ namespace tswarp::mv {
 class GridCellModel {
  public:
   static constexpr bool kExactRows = false;
+  // Node summaries describe scalar value hulls; grid cells are
+  // d-dimensional, so the multivariate index never builds them.
+  static constexpr bool kSupportsSummaries = false;
 
   /// `envelope` may be null (cascade disabled, the ablation setting). All
   /// pointers must outlive the model.

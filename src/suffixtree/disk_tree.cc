@@ -56,6 +56,8 @@ constexpr std::uint32_t kRecordAlignment = 64;
 static_assert(kRecordAlignment % sizeof(NodeRecord) == 0);
 static_assert(kRecordAlignment % sizeof(OccRecord) == 0);
 static_assert(kRecordAlignment % sizeof(Symbol) == 0);
+static_assert(kRecordAlignment % sizeof(NodeSummaryRecord) == 0);
+static_assert(storage::PagedFile::kPageSize % sizeof(NodeSummaryRecord) == 0);
 
 // v1 meta page: just this record. The v2 page appends the section table.
 struct MetaRecord {
@@ -76,8 +78,12 @@ enum RegionId : std::uint32_t {
   kRegionNodes = 0,
   kRegionOccs = 1,
   kRegionLabels = 2,
+  // Optional trailing section (node summaries). A 3-section bundle is a
+  // plain v2 bundle; a 4-section bundle additionally carries `.sums`.
+  kRegionSummaries = 3,
 };
 constexpr std::uint32_t kNumSections = 3;
+constexpr std::uint32_t kMaxSections = 4;
 
 struct SectionEntry {
   std::uint32_t region;       // RegionId
@@ -89,13 +95,14 @@ static_assert(sizeof(SectionEntry) == 24);
 
 constexpr std::size_t kSectionTableOffset = sizeof(MetaRecord);
 static_assert(kSectionTableOffset + 2 * sizeof(std::uint32_t) +
-                  kNumSections * sizeof(SectionEntry) <=
+                  kMaxSections * sizeof(SectionEntry) <=
               storage::PagedFile::kPageSize);
 
 std::string NodesPath(const std::string& base) { return base + ".nodes"; }
 std::string OccsPath(const std::string& base) { return base + ".occs"; }
 std::string LabelsPath(const std::string& base) { return base + ".labels"; }
 std::string MetaPath(const std::string& base) { return base + ".meta"; }
+std::string SumsPath(const std::string& base) { return base + ".sums"; }
 
 std::string ParentDir(const std::string& base_path) {
   return std::filesystem::path(base_path).parent_path().string();
@@ -107,6 +114,7 @@ struct ParsedMeta {
   std::uint64_t num_nodes;
   std::uint64_t num_occs;
   std::uint64_t num_label_symbols;
+  bool has_summaries = false;
 };
 
 StatusOr<ParsedMeta> ReadMeta(const std::string& base_path) {
@@ -127,6 +135,7 @@ StatusOr<ParsedMeta> ReadMeta(const std::string& base_path) {
   if (meta.finalized != 1) {
     return Status::Corruption("unreadable tree bundle " + base_path);
   }
+  bool has_summaries = false;
   if (meta.version == kMetaVersionV2) {
     std::size_t off = kSectionTableOffset;
     std::uint32_t section_count = 0;
@@ -135,15 +144,21 @@ StatusOr<ParsedMeta> ReadMeta(const std::string& base_path) {
     off += sizeof(section_count);
     std::memcpy(&alignment, page.data() + off, sizeof(alignment));
     off += sizeof(alignment);
-    if (section_count != kNumSections || alignment != kRecordAlignment) {
+    // The summary section is optional: 3 sections is a plain v2 bundle,
+    // 4 announces a trailing node-summary region. Anything else is not a
+    // bundle this build can describe.
+    if ((section_count != kNumSections && section_count != kMaxSections) ||
+        alignment != kRecordAlignment) {
       return Status::Corruption("bad section table header in " +
                                 MetaPath(base_path));
     }
-    const std::uint64_t expect_count[kNumSections] = {
-        meta.num_nodes, meta.num_occs, meta.num_label_symbols};
-    const std::uint32_t expect_size[kNumSections] = {
-        sizeof(NodeRecord), sizeof(OccRecord), sizeof(Symbol)};
-    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+    const std::uint64_t expect_count[kMaxSections] = {
+        meta.num_nodes, meta.num_occs, meta.num_label_symbols,
+        meta.num_nodes};
+    const std::uint32_t expect_size[kMaxSections] = {
+        sizeof(NodeRecord), sizeof(OccRecord), sizeof(Symbol),
+        sizeof(NodeSummaryRecord)};
+    for (std::uint32_t i = 0; i < section_count; ++i) {
       SectionEntry entry;
       std::memcpy(&entry, page.data() + off, sizeof(entry));
       off += sizeof(entry);
@@ -155,9 +170,10 @@ StatusOr<ParsedMeta> ReadMeta(const std::string& base_path) {
                                   MetaPath(base_path));
       }
     }
+    has_summaries = section_count == kMaxSections;
   }
   return ParsedMeta{meta.version, meta.num_nodes, meta.num_occs,
-                    meta.num_label_symbols};
+                    meta.num_label_symbols, has_summaries};
 }
 
 /// Zero-copy access to fixed-size records of one region. Get() pins the
@@ -276,6 +292,9 @@ class TreeAccess {
   virtual storage::EvictionPolicyKind pool_eviction() const = 0;
   virtual std::uint64_t MappedBytes() const = 0;
   virtual std::uint64_t ResidentBytes() const = 0;
+  /// Records of the bundle's summary section; empty when absent or not
+  /// loaded. Stable for the backend's lifetime.
+  virtual std::span<const NodeSummaryRecord> NodeSummaries() const = 0;
 };
 
 }  // namespace internal
@@ -288,9 +307,14 @@ namespace {
 class BufferedTreeAccess : public internal::TreeAccess {
  public:
   static StatusOr<std::unique_ptr<internal::TreeAccess>> Open(
-      const std::string& base_path, const DiskTreeOptions& options) {
+      const std::string& base_path, const DiskTreeOptions& options,
+      const ParsedMeta& meta) {
     auto access = std::unique_ptr<BufferedTreeAccess>(new BufferedTreeAccess);
     access->readahead_pages_ = options.readahead_pages;
+    if (meta.has_summaries && options.load_node_summaries) {
+      TSW_RETURN_IF_ERROR(LoadSummaries(base_path, meta.num_nodes,
+                                        &access->summaries_));
+    }
     TSW_ASSIGN_OR_RETURN(
         auto nodes_file, storage::PagedFile::Open(NodesPath(base_path), false));
     TSW_ASSIGN_OR_RETURN(
@@ -384,10 +408,46 @@ class BufferedTreeAccess : public internal::TreeAccess {
   std::uint64_t MappedBytes() const override { return 0; }
   std::uint64_t ResidentBytes() const override { return 0; }
 
+  std::span<const NodeSummaryRecord> NodeSummaries() const override {
+    return summaries_;
+  }
+
  private:
   BufferedTreeAccess() = default;
 
+  // Summaries are consulted on every edge of every query, so the
+  // buffered path reads the whole section into an owned array at Open
+  // (one flat 64 B/node sidecar) instead of pinning pages per probe.
+  // This is the one deliberate exception to the bounded-pool promise;
+  // open with load_node_summaries=false to keep the strict bound.
+  static Status LoadSummaries(const std::string& base_path,
+                              std::uint64_t num_nodes,
+                              std::vector<NodeSummaryRecord>* out) {
+    TSW_ASSIGN_OR_RETURN(auto file,
+                         storage::PagedFile::Open(SumsPath(base_path), false));
+    const std::uint64_t need = num_nodes * sizeof(NodeSummaryRecord);
+    if (file.SizeBytes() < need) {
+      return Status::Corruption(
+          "summary section truncated: " + SumsPath(base_path) + " holds " +
+          std::to_string(file.SizeBytes()) + " bytes, section table claims " +
+          std::to_string(need));
+    }
+    out->resize(static_cast<std::size_t>(num_nodes));
+    std::vector<std::byte> page(storage::PagedFile::kPageSize);
+    auto* dst = reinterpret_cast<std::byte*>(out->data());
+    std::uint64_t copied = 0;
+    for (std::uint64_t page_no = 0; copied < need; ++page_no) {
+      TSW_RETURN_IF_ERROR(file.ReadPage(page_no, page));
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(need - copied, page.size());
+      std::memcpy(dst + copied, page.data(), chunk);
+      copied += chunk;
+    }
+    return Status::OK();
+  }
+
   std::size_t readahead_pages_ = 0;
+  std::vector<NodeSummaryRecord> summaries_;
   std::unique_ptr<storage::PagedFile> node_file_;
   std::unique_ptr<storage::PagedFile> occ_file_;
   std::unique_ptr<storage::PagedFile> label_file_;
@@ -407,7 +467,8 @@ class BufferedTreeAccess : public internal::TreeAccess {
 class MappedTreeAccess : public internal::TreeAccess {
  public:
   static StatusOr<std::unique_ptr<internal::TreeAccess>> Open(
-      const std::string& base_path, const ParsedMeta& meta) {
+      const std::string& base_path, const ParsedMeta& meta,
+      bool load_summaries) {
     auto access = std::unique_ptr<MappedTreeAccess>(new MappedTreeAccess);
     TSW_ASSIGN_OR_RETURN(access->nodes_file_,
                          storage::MappedFile::Open(NodesPath(base_path)));
@@ -427,6 +488,19 @@ class MappedTreeAccess : public internal::TreeAccess {
         access->labels_,
         storage::MappedRegion::Create(access->labels_file_, sizeof(Symbol),
                                       meta.num_label_symbols, "labels"));
+    if (meta.has_summaries && load_summaries) {
+      // The summary section maps like any other region: extents are
+      // validated before any pointer is handed out, so a truncated
+      // `.sums` is a clean Corruption here, never a SIGBUS mid-query.
+      TSW_ASSIGN_OR_RETURN(access->sums_file_,
+                           storage::MappedFile::Open(SumsPath(base_path)));
+      TSW_ASSIGN_OR_RETURN(
+          access->sums_,
+          storage::MappedRegion::Create(access->sums_file_,
+                                        sizeof(NodeSummaryRecord),
+                                        meta.num_nodes, "sums"));
+      access->sums_file_.Advise(storage::AccessHint::kWillNeed);
+    }
     // Kick off asynchronous population of the whole bundle; queries that
     // arrive before it completes just fault their pages on demand.
     access->nodes_file_.Advise(storage::AccessHint::kWillNeed);
@@ -481,12 +555,18 @@ class MappedTreeAccess : public internal::TreeAccess {
 
   std::uint64_t MappedBytes() const override {
     return nodes_file_.size_bytes() + occs_file_.size_bytes() +
-           labels_file_.size_bytes();
+           labels_file_.size_bytes() + sums_file_.size_bytes();
   }
 
   std::uint64_t ResidentBytes() const override {
     return nodes_file_.ResidentBytes() + occs_file_.ResidentBytes() +
-           labels_file_.ResidentBytes();
+           labels_file_.ResidentBytes() + sums_file_.ResidentBytes();
+  }
+
+  std::span<const NodeSummaryRecord> NodeSummaries() const override {
+    if (sums_.record_count() == 0) return {};
+    return {reinterpret_cast<const NodeSummaryRecord*>(sums_.data()),
+            static_cast<std::size_t>(sums_.record_count())};
   }
 
  private:
@@ -499,9 +579,11 @@ class MappedTreeAccess : public internal::TreeAccess {
   storage::MappedFile nodes_file_;
   storage::MappedFile occs_file_;
   storage::MappedFile labels_file_;
+  storage::MappedFile sums_file_;
   storage::MappedRegion nodes_;
   storage::MappedRegion occs_;
   storage::MappedRegion labels_;
+  storage::MappedRegion sums_;
 };
 
 }  // namespace
@@ -720,13 +802,18 @@ StatusOr<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
   tree->num_label_symbols_ = meta.num_label_symbols;
   tree->format_version_ = meta.version;
   if (options.io_mode == storage::IoMode::kMmap) {
-    TSW_ASSIGN_OR_RETURN(tree->access_,
-                         MappedTreeAccess::Open(base_path, meta));
+    TSW_ASSIGN_OR_RETURN(
+        tree->access_,
+        MappedTreeAccess::Open(base_path, meta, options.load_node_summaries));
   } else {
     TSW_ASSIGN_OR_RETURN(tree->access_,
-                         BufferedTreeAccess::Open(base_path, options));
+                         BufferedTreeAccess::Open(base_path, options, meta));
   }
   return tree;
+}
+
+std::span<const NodeSummaryRecord> DiskSuffixTree::node_summaries() const {
+  return access_->NodeSummaries();
 }
 
 void DiskSuffixTree::GetChildren(NodeId node, Children* out) const {
@@ -788,11 +875,68 @@ Status WriteTreeToDisk(const TreeView& view, const std::string& base_path,
   return writer->Close();
 }
 
+Status AttachNodeSummaries(const std::string& base_path,
+                           std::span<const NodeSummaryRecord> records) {
+  TSW_ASSIGN_OR_RETURN(const ParsedMeta meta, ReadMeta(base_path));
+  if (meta.version < kMetaVersionV2) {
+    return Status::InvalidArgument(
+        "bundle " + base_path + " is format v" + std::to_string(meta.version) +
+        ": node summaries need the v2 section table");
+  }
+  if (records.size() != meta.num_nodes) {
+    return Status::InvalidArgument(
+        "summary count " + std::to_string(records.size()) +
+        " != node count " + std::to_string(meta.num_nodes) + " of " +
+        base_path);
+  }
+  // Write and sync the section data before announcing it in the meta
+  // page: a crash in between leaves a 3-section meta plus an
+  // unreferenced .sums file, which reopens cleanly without summaries.
+  {
+    TSW_ASSIGN_OR_RETURN(auto sums_file,
+                         storage::PagedFile::Create(SumsPath(base_path)));
+    const auto* src = reinterpret_cast<const std::byte*>(records.data());
+    const std::uint64_t total = records.size() * sizeof(NodeSummaryRecord);
+    std::vector<std::byte> page(storage::PagedFile::kPageSize);
+    std::uint64_t written = 0;
+    for (std::uint64_t page_no = 0; written < total; ++page_no) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(total - written, page.size());
+      std::memcpy(page.data(), src + written, chunk);
+      if (chunk < page.size()) {
+        std::fill(page.begin() + static_cast<std::ptrdiff_t>(chunk),
+                  page.end(), std::byte{0});
+      }
+      TSW_RETURN_IF_ERROR(sums_file.WritePage(page_no, page));
+      written += chunk;
+    }
+    TSW_RETURN_IF_ERROR(sums_file.Sync());
+  }
+  TSW_ASSIGN_OR_RETURN(auto meta_file,
+                       storage::PagedFile::Open(MetaPath(base_path), true));
+  std::vector<std::byte> page(storage::PagedFile::kPageSize);
+  TSW_RETURN_IF_ERROR(meta_file.ReadPage(0, page));
+  // ReadMeta validated the first three entries and the alignment header;
+  // only the count and the trailing entry change.
+  std::size_t off = kSectionTableOffset;
+  const std::uint32_t section_count = kMaxSections;
+  std::memcpy(page.data() + off, &section_count, sizeof(section_count));
+  off += 2 * sizeof(std::uint32_t) + kNumSections * sizeof(SectionEntry);
+  const SectionEntry entry{
+      kRegionSummaries, static_cast<std::uint32_t>(sizeof(NodeSummaryRecord)),
+      meta.num_nodes, meta.num_nodes * sizeof(NodeSummaryRecord)};
+  std::memcpy(page.data() + off, &entry, sizeof(entry));
+  TSW_RETURN_IF_ERROR(meta_file.WritePage(0, page));
+  TSW_RETURN_IF_ERROR(meta_file.Sync());
+  return storage::SyncDir(ParentDir(base_path));
+}
+
 void RemoveDiskTree(const std::string& base_path) {
   std::remove(NodesPath(base_path).c_str());
   std::remove(OccsPath(base_path).c_str());
   std::remove(LabelsPath(base_path).c_str());
   std::remove(MetaPath(base_path).c_str());
+  std::remove(SumsPath(base_path).c_str());
 }
 
 StatusOr<std::unique_ptr<DiskSuffixTree>> BuildDiskTree(

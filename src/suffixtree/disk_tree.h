@@ -10,6 +10,7 @@
 #include "storage/buffer_manager.h"
 #include "storage/mmap_file.h"
 #include "storage/paged_file.h"
+#include "suffixtree/node_summary.h"
 #include "suffixtree/suffix_tree.h"
 #include "suffixtree/symbol_database.h"
 #include "suffixtree/tree_view.h"
@@ -20,14 +21,17 @@ namespace internal {
 class TreeAccess;  // Pluggable node-access backend (buffered or mmap).
 }  // namespace internal
 
-/// A disk-resident suffix tree is a bundle of four files:
+/// A disk-resident suffix tree is a bundle of four files, plus an
+/// optional fifth:
 ///   <base>.meta    counts + magic + v2 section table
 ///   <base>.nodes   fixed 32-byte node records
 ///   <base>.occs    fixed 16-byte occurrence records
 ///   <base>.labels  materialized edge-label symbols (4 bytes each)
+///   <base>.sums    fixed 64-byte node-summary records (optional; v2
+///                  only, announced by a 4th section-table entry)
 /// The bundle is relocatable: records reference each other by index only
-/// (no absolute offsets or embedded paths), so the four files can be
-/// moved or renamed together freely.
+/// (no absolute offsets or embedded paths), so the files can be moved or
+/// renamed together freely.
 ///
 /// Two read paths exist, selected per open via `io_mode`:
 ///   - buffered: per-region sharded buffer managers with a bounded page
@@ -59,6 +63,13 @@ struct DiskTreeOptions {
   /// (mmap is read-only). Library default is buffered for compatibility;
   /// core::IndexOptions defaults to mmap for finalized bundles.
   storage::IoMode io_mode = storage::IoMode::kBuffered;
+
+  /// Whether Open serves the bundle's node-summary section when present
+  /// (mmap: mapped like any region; buffered: loaded eagerly as a flat
+  /// sidecar array — summaries are consulted per edge, so they bypass
+  /// the page pool). Bundles without the section always open fine and
+  /// simply expose an empty span.
+  bool load_node_summaries = true;
 
   storage::BufferManagerOptions ToManagerOptions() const;
 };
@@ -189,6 +200,12 @@ class DiskSuffixTree : public TreeView {
   /// On-disk format version of the bundle (1 or 2).
   std::uint32_t format_version() const { return format_version_; }
 
+  /// Node-summary records of the bundle's optional summary section,
+  /// indexed by NodeId. Empty when the bundle has no section or Open was
+  /// told not to load it. Valid for the tree's lifetime (mmap: a view
+  /// into the mapping; buffered: an owned copy read at Open).
+  std::span<const NodeSummaryRecord> node_summaries() const;
+
  private:
   DiskSuffixTree() = default;
 
@@ -204,6 +221,14 @@ class DiskSuffixTree : public TreeView {
 /// Serializes any TreeView to a disk bundle at `base_path`.
 Status WriteTreeToDisk(const TreeView& view, const std::string& base_path,
                        DiskTreeOptions options = {});
+
+/// Adds (or replaces) the node-summary section of a finalized v2 bundle:
+/// writes `<base>.sums` and rewrites the meta page's section table to
+/// announce it. `records.size()` must equal the bundle's node count.
+/// Open handles on the bundle do not observe the new section; reopen to
+/// serve it. v1 bundles are rejected (no section table to extend).
+Status AttachNodeSummaries(const std::string& base_path,
+                           std::span<const NodeSummaryRecord> records);
 
 /// Deletes the files of a disk tree bundle (best-effort).
 void RemoveDiskTree(const std::string& base_path);

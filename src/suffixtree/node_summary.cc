@@ -1,0 +1,128 @@
+#include "suffixtree/node_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tswarp::suffixtree {
+namespace {
+
+constexpr Value kInf = std::numeric_limits<Value>::infinity();
+
+// Outward float rounding keeps the stored hull a superset of the exact
+// double hull. The unbounded cases stay sound: a lower bound above
+// FLT_MAX clamps to FLT_MAX (still below the value), an upper bound
+// above FLT_MAX widens to +inf.
+float RoundDown(Value v) {
+  auto f = static_cast<float>(v);
+  if (static_cast<Value>(f) > v) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+float RoundUp(Value v) {
+  auto f = static_cast<float>(v);
+  if (static_cast<Value>(f) < v) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+NodeSummaryRecord EmptyRecord() {
+  NodeSummaryRecord rec{};
+  for (std::uint32_t s = 0; s < NodeSummaryRecord::kMaxLabelSegments; ++s) {
+    rec.seg_lo[s] = kEmptyHullLo;
+    rec.seg_hi[s] = kEmptyHullHi;
+  }
+  rec.sub_lo = kEmptyHullLo;
+  rec.sub_hi = kEmptyHullHi;
+  rec.total_lo = kEmptyHullLo;
+  rec.total_hi = kEmptyHullHi;
+  return rec;
+}
+
+}  // namespace
+
+std::vector<NodeSummaryRecord> BuildNodeSummaries(
+    const TreeView& tree, std::span<const SymbolHull> symbol_hulls) {
+  const auto num_nodes = static_cast<std::size_t>(tree.NumNodes());
+  std::vector<NodeSummaryRecord> recs(num_nodes, EmptyRecord());
+  if (num_nodes == 0) return recs;
+  std::vector<std::uint32_t> label_len(num_nodes, 0);
+
+  struct Frame {
+    NodeId node;
+    bool processed;
+  };
+  std::vector<Frame> stack = {{tree.Root(), false}};
+  Children children;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (!f.processed) {
+      stack.push_back({f.node, true});
+      tree.GetChildren(f.node, &children);
+      for (const Children::Edge& e : children.edges) {
+        // The edge label is only reachable from the parent, so the
+        // child's label-derived fields are filled here; the subtree
+        // fields follow when the child pops in post-order.
+        NodeSummaryRecord& rec = recs[e.child];
+        const std::span<const Symbol> label = children.Label(e);
+        const auto segments = static_cast<std::uint32_t>(
+            std::min<std::size_t>(NodeSummaryRecord::kMaxLabelSegments,
+                                  label.size()));
+        rec.label_segments = segments;
+        for (std::uint32_t s = 0; s < segments; ++s) {
+          const std::size_t begin = label.size() * s / segments;
+          const std::size_t end = label.size() * (s + 1) / segments;
+          Value lo = kInf;
+          Value hi = -kInf;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Symbol sym = label[i];
+            TSW_CHECK(sym >= 0 &&
+                      static_cast<std::size_t>(sym) < symbol_hulls.size())
+                << "label symbol " << sym << " outside the hull table ("
+                << symbol_hulls.size() << ")";
+            lo = std::min(lo, symbol_hulls[static_cast<std::size_t>(sym)].lo);
+            hi = std::max(hi, symbol_hulls[static_cast<std::size_t>(sym)].hi);
+          }
+          rec.seg_lo[s] = RoundDown(lo);
+          rec.seg_hi[s] = RoundUp(hi);
+        }
+        label_len[e.child] = static_cast<std::uint32_t>(label.size());
+        stack.push_back({e.child, false});
+      }
+      continue;
+    }
+    // Post-order visit: every child record is complete.
+    NodeSummaryRecord& rec = recs[f.node];
+    float sub_lo = kEmptyHullLo;
+    float sub_hi = kEmptyHullHi;
+    std::uint64_t max_below = 0;
+    tree.GetChildren(f.node, &children);
+    for (const Children::Edge& e : children.edges) {
+      const NodeSummaryRecord& crec = recs[e.child];
+      sub_lo = std::min(sub_lo, crec.total_lo);
+      sub_hi = std::max(sub_hi, crec.total_hi);
+      max_below = std::max<std::uint64_t>(max_below, crec.max_depth);
+    }
+    rec.sub_lo = sub_lo;
+    rec.sub_hi = sub_hi;
+    float total_lo = sub_lo;
+    float total_hi = sub_hi;
+    for (std::uint32_t s = 0; s < rec.label_segments; ++s) {
+      total_lo = std::min(total_lo, rec.seg_lo[s]);
+      total_hi = std::max(total_hi, rec.seg_hi[s]);
+    }
+    rec.total_lo = total_lo;
+    rec.total_hi = total_hi;
+    rec.max_depth = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(label_len[f.node]) + max_below,
+        0xFFFFFFFFull));
+  }
+  return recs;
+}
+
+}  // namespace tswarp::suffixtree

@@ -1,0 +1,75 @@
+#ifndef TSWARP_SUFFIXTREE_NODE_SUMMARY_H_
+#define TSWARP_SUFFIXTREE_NODE_SUMMARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "suffixtree/tree_view.h"
+
+namespace tswarp::suffixtree {
+
+/// Per-node subtree summary, one record per tree node, indexed by NodeId.
+///
+/// Every subsequence that the search driver could emit while inside the
+/// subtree of node `n` draws its elements from three symbol populations:
+/// the prefix already pushed on the warping table, the symbols of `n`'s
+/// own edge label, and the symbols below `n`. The record stores value
+/// hulls for the latter two (the driver tracks the prefix hull itself):
+///
+///   seg_lo/seg_hi[k]   piecewise envelope of the edge label from the
+///                      parent into `n`, split into `label_segments`
+///                      (<= kMaxLabelSegments) contiguous runs;
+///   sub_lo/sub_hi      hull of every label symbol strictly below `n`;
+///   total_lo/total_hi  hull of label + subtree — the aggregate a parent
+///                      folds into its own sub hull, and the cheap
+///                      first-stage screen interval;
+///   max_depth          longest symbol path from `n`'s parent through
+///                      `n` downward (label_len + deepest child), which
+///                      bounds every candidate length reachable below
+///                      the edge — the banded length screen.
+///
+/// Hulls are stored as floats rounded OUTWARD (lo toward -inf, hi toward
+/// +inf), so a float hull always contains the exact double hull and the
+/// summary bound stays a true lower bound. Empty hulls (a leaf's sub
+/// hull, the root's label) are lo=+inf / hi=-inf.
+///
+/// The record is exactly 64 bytes so it honors the v2 bundle's record
+/// alignment contract and a node's summary never straddles a cache line.
+struct NodeSummaryRecord {
+  static constexpr std::uint32_t kMaxLabelSegments = 4;
+
+  float seg_lo[kMaxLabelSegments];
+  float seg_hi[kMaxLabelSegments];
+  float sub_lo;
+  float sub_hi;
+  float total_lo;
+  float total_hi;
+  std::uint32_t label_segments;  // 0 (root) .. kMaxLabelSegments
+  std::uint32_t max_depth;       // symbols; saturated at uint32 max
+  std::uint32_t reserved[2];     // zero; room for future PAA coefficients
+};
+static_assert(sizeof(NodeSummaryRecord) == 64);
+
+inline constexpr float kEmptyHullLo = std::numeric_limits<float>::infinity();
+inline constexpr float kEmptyHullHi = -std::numeric_limits<float>::infinity();
+
+/// Value hull of one symbol: the closed interval containing every raw
+/// element value the symbol can stand for. Exact trees use the degenerate
+/// [v, v]; categorized trees use the fitted category interval.
+struct SymbolHull {
+  Value lo;
+  Value hi;
+};
+
+/// Computes a summary for every node of `tree` in one post-order pass.
+/// `symbol_hulls` is indexed by symbol; every label symbol in the tree
+/// must be a valid index. The result is indexed by NodeId (dense ids).
+std::vector<NodeSummaryRecord> BuildNodeSummaries(
+    const TreeView& tree, std::span<const SymbolHull> symbol_hulls);
+
+}  // namespace tswarp::suffixtree
+
+#endif  // TSWARP_SUFFIXTREE_NODE_SUMMARY_H_

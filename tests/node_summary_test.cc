@@ -1,0 +1,296 @@
+// Unit tests for per-node envelope summaries: record construction against
+// recomputed ground truth, the persisted v2 summary section (attach,
+// reopen on both io paths, missing/truncated/version-gated bundles), and
+// the compatibility promise that bundles without the section keep working.
+
+#include "suffixtree/node_summary.h"
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "suffixtree/disk_tree.h"
+#include "suffixtree/suffix_tree.h"
+
+namespace tswarp::suffixtree {
+namespace {
+
+SymbolDatabase RandomSymbolDb(std::uint64_t seed, std::size_t num_seqs,
+                              std::size_t max_len, Symbol alphabet) {
+  Rng rng(seed);
+  SymbolDatabase db;
+  for (std::size_t i = 0; i < num_seqs; ++i) {
+    const auto len = static_cast<std::size_t>(
+        rng.UniformInt(2, static_cast<int>(max_len)));
+    SymbolSequence s;
+    for (std::size_t p = 0; p < len; ++p) {
+      s.push_back(static_cast<Symbol>(rng.UniformInt(0, alphabet - 1)));
+    }
+    db.Add(std::move(s));
+  }
+  return db;
+}
+
+/// Hulls with float-exact endpoints so outward rounding is the identity
+/// and ground-truth comparisons can use ==.
+std::vector<SymbolHull> PointHulls(Symbol alphabet) {
+  std::vector<SymbolHull> hulls;
+  for (Symbol s = 0; s < alphabet; ++s) {
+    hulls.push_back({static_cast<Value>(s), static_cast<Value>(s) + 0.5});
+  }
+  return hulls;
+}
+
+TEST(NodeSummaryRecordTest, LayoutInvariants) {
+  // The 64-byte size is a disk-format contract (record alignment, no
+  // cache-line straddle); a change here is a format break.
+  static_assert(sizeof(NodeSummaryRecord) == 64);
+  static_assert(NodeSummaryRecord::kMaxLabelSegments == 4);
+  // The empty-hull sentinel must be "impossible interval", so any
+  // min/max fold against it is absorbing.
+  EXPECT_GT(kEmptyHullLo, kEmptyHullHi);
+}
+
+TEST(NodeSummaryTest, MatchesRecomputedGroundTruth) {
+  constexpr Symbol kAlphabet = 4;
+  const std::vector<SymbolHull> hulls = PointHulls(kAlphabet);
+  for (const bool sparse : {false, true}) {
+    const SymbolDatabase db = RandomSymbolDb(sparse ? 11 : 7, 6, 24,
+                                             kAlphabet);
+    BuildOptions build;
+    build.sparse = sparse;
+    const SuffixTree tree = BuildSuffixTree(db, build);
+    const std::vector<NodeSummaryRecord> recs =
+        BuildNodeSummaries(tree, hulls);
+    ASSERT_EQ(recs.size(), tree.NumNodes());
+
+    // Recompute every field recursively and compare exactly.
+    struct Expected {
+      float lo;          // total hull
+      float hi;
+      std::uint32_t depth;  // label_len + deepest child
+    };
+    struct Checker {
+      const SuffixTree& tree;
+      const std::vector<SymbolHull>& hulls;
+      const std::vector<NodeSummaryRecord>& recs;
+
+      Expected Check(NodeId node, std::span<const Symbol> label) {
+        const NodeSummaryRecord& rec = recs[node];
+        // Label segments: the builder splits the label into
+        // `label_segments` contiguous runs with the same arithmetic.
+        const auto segments = static_cast<std::uint32_t>(std::min<std::size_t>(
+            NodeSummaryRecord::kMaxLabelSegments, label.size()));
+        EXPECT_EQ(rec.label_segments, segments);
+        float label_lo = kEmptyHullLo;
+        float label_hi = kEmptyHullHi;
+        for (std::uint32_t s = 0; s < segments; ++s) {
+          const std::size_t begin = label.size() * s / segments;
+          const std::size_t end = label.size() * (s + 1) / segments;
+          float lo = kEmptyHullLo;
+          float hi = kEmptyHullHi;
+          for (std::size_t i = begin; i < end; ++i) {
+            const SymbolHull& h =
+                hulls[static_cast<std::size_t>(label[i])];
+            lo = std::min(lo, static_cast<float>(h.lo));
+            hi = std::max(hi, static_cast<float>(h.hi));
+          }
+          EXPECT_EQ(rec.seg_lo[s], lo) << "node " << node << " seg " << s;
+          EXPECT_EQ(rec.seg_hi[s], hi) << "node " << node << " seg " << s;
+          label_lo = std::min(label_lo, lo);
+          label_hi = std::max(label_hi, hi);
+        }
+        for (std::uint32_t s = segments;
+             s < NodeSummaryRecord::kMaxLabelSegments; ++s) {
+          EXPECT_EQ(rec.seg_lo[s], kEmptyHullLo);
+          EXPECT_EQ(rec.seg_hi[s], kEmptyHullHi);
+        }
+
+        Children children;
+        tree.GetChildren(node, &children);
+        float sub_lo = kEmptyHullLo;
+        float sub_hi = kEmptyHullHi;
+        std::uint32_t max_below = 0;
+        for (const Children::Edge& e : children.edges) {
+          const Expected child = Check(e.child, children.Label(e));
+          sub_lo = std::min(sub_lo, child.lo);
+          sub_hi = std::max(sub_hi, child.hi);
+          max_below = std::max(max_below, child.depth);
+        }
+        EXPECT_EQ(rec.sub_lo, sub_lo) << "node " << node;
+        EXPECT_EQ(rec.sub_hi, sub_hi) << "node " << node;
+        const float total_lo = std::min(sub_lo, label_lo);
+        const float total_hi = std::max(sub_hi, label_hi);
+        EXPECT_EQ(rec.total_lo, total_lo) << "node " << node;
+        EXPECT_EQ(rec.total_hi, total_hi) << "node " << node;
+        const auto depth =
+            static_cast<std::uint32_t>(label.size()) + max_below;
+        EXPECT_EQ(rec.max_depth, depth) << "node " << node;
+        EXPECT_EQ(rec.reserved[0], 0u);
+        EXPECT_EQ(rec.reserved[1], 0u);
+        return {total_lo, total_hi, depth};
+      }
+    };
+    Checker checker{tree, hulls, recs};
+    checker.Check(tree.Root(), {});
+    EXPECT_EQ(recs[tree.Root()].label_segments, 0u);
+  }
+}
+
+class NodeSummaryDiskTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tswarp_node_summary_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Builds a tree, writes it as a v2 bundle, and returns its summaries.
+  std::vector<NodeSummaryRecord> WriteBundle(const std::string& base,
+                                             std::uint64_t seed,
+                                             std::size_t num_seqs = 6,
+                                             std::size_t max_len = 24) {
+    constexpr Symbol kAlphabet = 3;
+    const SymbolDatabase db =
+        RandomSymbolDb(seed, num_seqs, max_len, kAlphabet);
+    const SuffixTree tree = BuildSuffixTree(db);
+    EXPECT_TRUE(WriteTreeToDisk(tree, base).ok());
+    return BuildNodeSummaries(tree, PointHulls(kAlphabet));
+  }
+
+  static DiskTreeOptions IoOptions(storage::IoMode mode) {
+    DiskTreeOptions options;
+    options.io_mode = mode;
+    return options;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(NodeSummaryDiskTest, AttachAndReopenRoundTripsBothIoModes) {
+  const std::string base = Path("roundtrip");
+  const std::vector<NodeSummaryRecord> records = WriteBundle(base, 21);
+  ASSERT_TRUE(AttachNodeSummaries(base, records).ok());
+
+  for (const storage::IoMode mode :
+       {storage::IoMode::kBuffered, storage::IoMode::kMmap}) {
+    auto disk = DiskSuffixTree::Open(base, IoOptions(mode));
+    ASSERT_TRUE(disk.ok()) << disk.status();
+    const std::span<const NodeSummaryRecord> loaded =
+        (*disk)->node_summaries();
+    ASSERT_EQ(loaded.size(), records.size());
+    EXPECT_EQ(std::memcmp(loaded.data(), records.data(),
+                          records.size() * sizeof(NodeSummaryRecord)),
+              0)
+        << storage::IoModeToString(mode);
+
+    // Opting out of the section leaves the rest of the bundle intact.
+    DiskTreeOptions no_load = IoOptions(mode);
+    no_load.load_node_summaries = false;
+    auto bare = DiskSuffixTree::Open(base, no_load);
+    ASSERT_TRUE(bare.ok());
+    EXPECT_TRUE((*bare)->node_summaries().empty());
+    EXPECT_EQ((*bare)->NumNodes(), records.size());
+  }
+}
+
+TEST_F(NodeSummaryDiskTest, BundleWithoutSectionOpensCleanly) {
+  // The pre-summary v2 bundle (3 sections) is the compatibility baseline:
+  // both read paths must open it and report no summaries.
+  const std::string base = Path("plain_v2");
+  const std::vector<NodeSummaryRecord> records = WriteBundle(base, 22);
+  for (const storage::IoMode mode :
+       {storage::IoMode::kBuffered, storage::IoMode::kMmap}) {
+    auto disk = DiskSuffixTree::Open(base, IoOptions(mode));
+    ASSERT_TRUE(disk.ok()) << disk.status();
+    EXPECT_TRUE((*disk)->node_summaries().empty());
+    EXPECT_EQ((*disk)->NumNodes(), records.size());
+    EXPECT_EQ((*disk)->format_version(), 2u);
+  }
+}
+
+TEST_F(NodeSummaryDiskTest, TruncatedSectionIsCorruptionNotACrash) {
+  // Enough sequences that the summary section spans multiple pages, so a
+  // one-page file is short for the announced extent on both read paths.
+  const std::string base = Path("truncated");
+  const std::vector<NodeSummaryRecord> records =
+      WriteBundle(base, 23, /*num_seqs=*/12, /*max_len=*/40);
+  ASSERT_GT(records.size() * sizeof(NodeSummaryRecord), 4096u)
+      << "test needs a multi-page section to truncate meaningfully";
+  ASSERT_TRUE(AttachNodeSummaries(base, records).ok());
+  std::filesystem::resize_file(base + ".sums", 4096);
+
+  for (const storage::IoMode mode :
+       {storage::IoMode::kBuffered, storage::IoMode::kMmap}) {
+    auto disk = DiskSuffixTree::Open(base, IoOptions(mode));
+    ASSERT_FALSE(disk.ok()) << storage::IoModeToString(mode);
+    EXPECT_EQ(disk.status().code(), StatusCode::kCorruption)
+        << disk.status().ToString();
+
+    // The escape hatch: skip the section and the bundle still serves.
+    DiskTreeOptions no_load = IoOptions(mode);
+    no_load.load_node_summaries = false;
+    auto bare = DiskSuffixTree::Open(base, no_load);
+    ASSERT_TRUE(bare.ok()) << bare.status();
+    EXPECT_TRUE((*bare)->node_summaries().empty());
+    Children children;
+    (*bare)->GetChildren((*bare)->Root(), &children);
+    EXPECT_FALSE(children.edges.empty());
+  }
+}
+
+TEST_F(NodeSummaryDiskTest, MissingSectionFileFailsCleanly) {
+  // Meta announces four sections but the .sums file is gone: a clean
+  // error on both paths (never a crash), and load_node_summaries=false
+  // still opens.
+  const std::string base = Path("missing");
+  const std::vector<NodeSummaryRecord> records = WriteBundle(base, 24);
+  ASSERT_TRUE(AttachNodeSummaries(base, records).ok());
+  std::filesystem::remove(base + ".sums");
+
+  for (const storage::IoMode mode :
+       {storage::IoMode::kBuffered, storage::IoMode::kMmap}) {
+    auto disk = DiskSuffixTree::Open(base, IoOptions(mode));
+    EXPECT_FALSE(disk.ok()) << storage::IoModeToString(mode);
+
+    DiskTreeOptions no_load = IoOptions(mode);
+    no_load.load_node_summaries = false;
+    auto bare = DiskSuffixTree::Open(base, no_load);
+    ASSERT_TRUE(bare.ok()) << bare.status();
+    EXPECT_TRUE((*bare)->node_summaries().empty());
+  }
+}
+
+TEST_F(NodeSummaryDiskTest, AttachRejectsV1Bundles) {
+  // v1 bundles predate the section table; there is nowhere to announce a
+  // fourth section, so the attach must refuse rather than write a file
+  // no reader will ever consult.
+  const std::string base = Path("v1");
+  const std::vector<NodeSummaryRecord> records = WriteBundle(base, 25);
+  ASSERT_TRUE(DowngradeBundleToV1ForTest(base).ok());
+  const Status status = AttachNodeSummaries(base, records);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+  EXPECT_FALSE(std::filesystem::exists(base + ".sums"));
+}
+
+TEST_F(NodeSummaryDiskTest, AttachRejectsCountMismatch) {
+  const std::string base = Path("mismatch");
+  std::vector<NodeSummaryRecord> records = WriteBundle(base, 26);
+  records.pop_back();
+  const Status status = AttachNodeSummaries(base, records);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace tswarp::suffixtree
